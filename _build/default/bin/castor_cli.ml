@@ -1,0 +1,284 @@
+(* castor — command-line interface to the library.
+
+   Subcommands:
+     learn      train a learner on a dataset variant and report metrics
+     schemas    print a dataset's schema variants, constraints and stats
+     transform  demonstrate a composition/decomposition round trip
+     oracle     run the A2 query-based learner against a random target *)
+
+open Cmdliner
+open Castor_relational
+module Clause = Castor_logic.Clause
+open Castor_datasets
+open Castor_eval
+
+let dataset_of_name = function
+  | "uwcse" -> Uwcse.generate ()
+  | "hiv" -> Hiv.generate ()
+  | "hiv-large" -> Hiv.generate ~config:Hiv.large_config ()
+  | "imdb" -> Imdb.generate ()
+  | "family" -> Family.generate ()
+  | s -> failwith ("unknown dataset " ^ s ^ " (try uwcse|hiv|hiv-large|imdb|family)")
+
+let algo_of_name = function
+  | "castor" -> Algos.castor ()
+  | "castor-safe" ->
+      Algos.castor
+        ~params:{ Castor_core.Castor.default_params with safe = true }
+        ()
+  | "castor-subset" -> Algos.castor_subset ()
+  | "foil" -> Algos.foil ()
+  | "aleph-foil" -> Algos.aleph_foil ~clauselength:8 ()
+  | "aleph-progol" -> Algos.aleph_progol ~clauselength:8 ()
+  | "progolem" -> Algos.progolem ()
+  | "golem" -> Algos.golem ()
+  | s ->
+      failwith
+        ("unknown algorithm " ^ s
+       ^ " (try castor|castor-safe|castor-subset|foil|aleph-foil|aleph-progol|progolem|golem)")
+
+(* ---------------------------- learn ----------------------------- *)
+
+let dataset_arg =
+  Arg.(value & opt string "uwcse" & info [ "d"; "dataset" ] ~doc:"Dataset name.")
+
+let variant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "schema" ] ~doc:"Schema variant (default: the base schema).")
+
+let algo_arg =
+  Arg.(value & opt string "castor" & info [ "a"; "algo" ] ~doc:"Learning algorithm.")
+
+let folds_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "k"; "folds" ]
+        ~doc:"Cross-validation folds; 0 trains on everything and reports training metrics.")
+
+let learn dataset variant algo folds =
+  let ds = dataset_of_name dataset in
+  let vname = Option.value ~default:(fst (List.hd ds.Dataset.variants)) variant in
+  let a = algo_of_name algo in
+  let prep = Experiment.prepare ds vname in
+  if folds > 0 then begin
+    let row = Experiment.crossval ~folds prep a in
+    Fmt.pr "%s on %s/%s (%d-fold CV):@." a.Experiment.algo_name dataset vname folds;
+    Fmt.pr "  precision %.3f  recall %.3f  time/fold %.2fs@."
+      row.Experiment.metrics.Metrics.precision row.Experiment.metrics.Metrics.recall
+      row.Experiment.time_s;
+    Fmt.pr "@.last-fold definition:@.%a@." Clause.pp_definition row.Experiment.definition
+  end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let def = Experiment.train_full prep a in
+    let dt = Unix.gettimeofday () -. t0 in
+    let n_pos = Castor_ilp.Coverage.length prep.Experiment.all_pos in
+    let n_neg = Castor_ilp.Coverage.length prep.Experiment.all_neg in
+    let m =
+      Experiment.test_metrics prep def
+        (Array.init n_pos Fun.id, Array.init n_neg Fun.id)
+    in
+    Fmt.pr "%s on %s/%s (training set, %.2fs):@." a.Experiment.algo_name dataset
+      vname dt;
+    Fmt.pr "  precision %.3f  recall %.3f@." m.Metrics.precision m.Metrics.recall;
+    Fmt.pr "@.definition:@.%a@." Clause.pp_definition def
+  end
+
+let learn_cmd =
+  Cmd.v
+    (Cmd.info "learn" ~doc:"Learn a target relation definition over a schema variant.")
+    Term.(const learn $ dataset_arg $ variant_arg $ algo_arg $ folds_arg)
+
+(* --------------------------- schemas ---------------------------- *)
+
+let schemas dataset =
+  let ds = dataset_of_name dataset in
+  Fmt.pr "dataset %s: %d positive / %d negative examples of %s@." ds.Dataset.name
+    (Array.length ds.Dataset.examples.Castor_ilp.Examples.pos)
+    (Array.length ds.Dataset.examples.Castor_ilp.Examples.neg)
+    ds.Dataset.target.Schema.rname;
+  List.iter
+    (fun (vname, _) ->
+      let v = Dataset.variant_named ds vname in
+      Fmt.pr "@.== variant %s (%d tuples) ==@.%a@." vname
+        (Instance.size v.Dataset.vinstance)
+        Schema.pp v.Dataset.vschema)
+    ds.Dataset.variants
+
+let schemas_cmd =
+  Cmd.v
+    (Cmd.info "schemas" ~doc:"Print a dataset's schema variants and constraints.")
+    Term.(const schemas $ dataset_arg)
+
+(* -------------------------- transform --------------------------- *)
+
+let transform dataset =
+  let ds = dataset_of_name dataset in
+  List.iter
+    (fun (vname, tr) ->
+      if tr <> [] then begin
+        Fmt.pr "@.variant %-14s: %a@." vname Transform.pp tr;
+        let ok = Transform.round_trips ds.Dataset.instance tr in
+        Fmt.pr "  instance round trip inv(tau(I)) = I: %b@." ok;
+        let v = Dataset.variant_named ds vname in
+        Fmt.pr "  transformed instance: %d tuples, constraints satisfied: %b@."
+          (Instance.size v.Dataset.vinstance)
+          (Instance.satisfies_constraints v.Dataset.vinstance)
+      end)
+    ds.Dataset.variants
+
+let transform_cmd =
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Apply each schema variant's (de)composition and verify invertibility.")
+    Term.(const transform $ dataset_arg)
+
+(* ---------------------------- oracle ---------------------------- *)
+
+let oracle n_vars n_clauses seed =
+  let ds = Uwcse.generate () in
+  let schema = Transform.apply_schema ds.Dataset.schema Uwcse.to_denorm2 in
+  let def =
+    Castor_qlearn.Gen.random_definition
+      ~rng:(Random.State.make [| seed |])
+      ~schema ~target_name:"t" ~n_clauses ~n_vars ()
+  in
+  Fmt.pr "hidden target:@.%a@.@." Clause.pp_definition def;
+  let o = Castor_qlearn.Oracle.make def in
+  let r = Castor_qlearn.A2.learn ~target_name:"t" o in
+  Fmt.pr "A2 result: converged=%b  EQs=%d  MQs=%d@.%a@." r.Castor_qlearn.A2.converged
+    r.Castor_qlearn.A2.eqs r.Castor_qlearn.A2.mqs Clause.pp_definition
+    r.Castor_qlearn.A2.hypothesis
+
+let oracle_cmd =
+  Cmd.v
+    (Cmd.info "oracle" ~doc:"Run the A2 query-based learner against a random target.")
+    Term.(
+      const oracle
+      $ Arg.(value & opt int 5 & info [ "vars" ] ~doc:"Variables per clause.")
+      $ Arg.(value & opt int 2 & info [ "clauses" ] ~doc:"Clauses in the target.")
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed."))
+
+(* ---------------------------- export ---------------------------- *)
+
+let export dataset variant out =
+  let ds = dataset_of_name dataset in
+  let vname = Option.value ~default:(fst (List.hd ds.Dataset.variants)) variant in
+  let v = Dataset.variant_named ds vname in
+  let exported =
+    {
+      ds with
+      Dataset.schema = v.Dataset.vschema;
+      instance = v.Dataset.vinstance;
+      variants = [ ("base", []) ];
+    }
+  in
+  Dataset.export exported out;
+  Fmt.pr "wrote %s/{schema,facts,examples}.castor (%d tuples)@." out
+    (Instance.size v.Dataset.vinstance)
+
+let export_cmd =
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a dataset variant to .castor text files.")
+    Term.(
+      const export $ dataset_arg $ variant_arg
+      $ Arg.(value & opt string "export" & info [ "o"; "out" ] ~doc:"Output directory."))
+
+(* ---------------------------- import ---------------------------- *)
+
+let import dir algo =
+  let ds = Dataset.import ~name:(Filename.basename dir) dir in
+  let a = algo_of_name algo in
+  let prep = Experiment.prepare ds "base" in
+  let t0 = Unix.gettimeofday () in
+  let def = Experiment.train_full prep a in
+  let dt = Unix.gettimeofday () -. t0 in
+  let n_pos = Castor_ilp.Coverage.length prep.Experiment.all_pos in
+  let n_neg = Castor_ilp.Coverage.length prep.Experiment.all_neg in
+  let m =
+    Experiment.test_metrics prep def
+      (Array.init n_pos Fun.id, Array.init n_neg Fun.id)
+  in
+  Fmt.pr "%s on imported %s (%.2fs): precision %.3f recall %.3f@."
+    a.Experiment.algo_name dir dt m.Metrics.precision m.Metrics.recall;
+  Fmt.pr "@.%a@." Clause.pp_definition def
+
+let import_cmd =
+  Cmd.v
+    (Cmd.info "import" ~doc:"Learn from a directory of .castor files.")
+    Term.(
+      const import
+      $ Arg.(value & opt string "export" & info [ "i"; "in" ] ~doc:"Input directory.")
+      $ algo_arg)
+
+(* ------------------------------ sql ------------------------------ *)
+
+let sql dataset variant algo =
+  let ds = dataset_of_name dataset in
+  let vname = Option.value ~default:(fst (List.hd ds.Dataset.variants)) variant in
+  let a = algo_of_name algo in
+  let prep = Experiment.prepare ds vname in
+  let def = Experiment.train_full prep a in
+  match def.Castor_logic.Clause.clauses with
+  | [] -> Fmt.pr "-- no definition learned@."
+  | _ ->
+      Fmt.pr "%s@."
+        (Castor_logic.Sql.create_view prep.Experiment.pvariant.Dataset.vschema def)
+
+let sql_cmd =
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Learn a definition and print it as a SQL view.")
+    Term.(const sql $ dataset_arg $ variant_arg $ algo_arg)
+
+(* ---------------------------- discover --------------------------- *)
+
+let discover dataset =
+  let ds = dataset_of_name dataset in
+  let inst = ds.Dataset.instance in
+  Fmt.pr "discovered unary inclusion dependencies:@.";
+  List.iter
+    (fun ind -> Fmt.pr "  %a@." Schema.pp_ind ind)
+    (Discovery.unary_inds inst);
+  Fmt.pr "@.discovered functional dependencies (LHS ≤ 2):@.";
+  List.iter
+    (fun (r : Schema.relation) ->
+      List.iter
+        (fun (fd : Schema.fd) ->
+          Fmt.pr "  %s: %a -> %a@." fd.Schema.fd_rel
+            Fmt.(list ~sep:comma string)
+            fd.Schema.fd_lhs
+            Fmt.(list ~sep:comma string)
+            fd.Schema.fd_rhs)
+        (Discovery.fds inst r.Schema.rname))
+    ds.Dataset.schema.Schema.relations;
+  Fmt.pr "@.composition proposals (lossless by declared INDs):@.";
+  List.iter
+    (fun op -> Fmt.pr "  %a@." Transform.pp_op op)
+    (Normalize.compose_advisor ds.Dataset.schema);
+  Fmt.pr "@.BCNF decomposition proposals (by declared FDs):@.";
+  List.iter
+    (fun (r : Schema.relation) ->
+      match Normalize.bcnf_decompose ds.Dataset.schema r.Schema.rname with
+      | Some op -> Fmt.pr "  %a@." Transform.pp_op op
+      | None -> ())
+    ds.Dataset.schema.Schema.relations
+
+let discover_cmd =
+  Cmd.v
+    (Cmd.info "discover"
+       ~doc:"Discover dependencies in a dataset and propose (de)normalizations.")
+    Term.(const discover $ dataset_arg)
+
+(* ----------------------------------------------------------------- *)
+
+let () =
+  let doc = "Schema independent relational learning (Castor)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "castor" ~doc)
+          [
+            learn_cmd; schemas_cmd; transform_cmd; oracle_cmd; export_cmd;
+            import_cmd; sql_cmd; discover_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/hiv_activity.ml: Algos Array Castor_datasets Castor_eval Castor_ilp Castor_logic Castor_relational Clause Dataset Experiment Fmt Fun Hiv List Metrics

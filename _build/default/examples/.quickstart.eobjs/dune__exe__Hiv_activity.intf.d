@@ -1,0 +1,1 @@
+examples/hiv_activity.mli:

@@ -1,0 +1,1 @@
+examples/imdb_drama.ml: Algos Array Castor_datasets Castor_eval Castor_ilp Castor_logic Clause Dataset Experiment Fmt Fun Imdb List Metrics Minimize Rewrite Unix

@@ -1,0 +1,1 @@
+examples/positive_only.ml: Algos Array Castor_core Castor_datasets Castor_eval Castor_ilp Castor_logic Clause Experiment Family Fmt Fun Metrics

@@ -1,0 +1,1 @@
+examples/positive_only.mli:

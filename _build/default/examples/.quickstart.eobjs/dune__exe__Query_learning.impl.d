@@ -1,0 +1,1 @@
+examples/query_learning.ml: A2 Castor_datasets Castor_logic Castor_qlearn Castor_relational Clause Dataset Fmt Gen List Oracle Random Rewrite Transform Uwcse

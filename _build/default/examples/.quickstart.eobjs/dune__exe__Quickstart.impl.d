@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atom Bottom Castor Castor_core Castor_ilp Castor_learners Castor_logic Castor_relational Clause Eval Examples Fmt Instance List Problem Schema Term Transform Value

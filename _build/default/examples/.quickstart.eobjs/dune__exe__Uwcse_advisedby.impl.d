@@ -1,0 +1,1 @@
+examples/uwcse_advisedby.ml: Algos Array Castor_datasets Castor_eval Castor_ilp Castor_logic Clause Dataset Experiment Fmt Fun List Metrics Uwcse

@@ -1,0 +1,1 @@
+examples/uwcse_advisedby.mli:

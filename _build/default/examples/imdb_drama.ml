@@ -1,0 +1,41 @@
+(* IMDb scenario (Table 11): dramaDirector has an exact Datalog
+   definition over every schema variant; Castor recovers it — with
+   precision and recall 1 — under JMDB, Stanford and Denormalized
+   alike, and the three learned clauses are each other's δτ images.
+
+     dune exec examples/imdb_drama.exe *)
+
+open Castor_logic
+open Castor_datasets
+open Castor_eval
+
+let () =
+  let ds = Imdb.generate () in
+  (match ds.Dataset.golden with
+  | Some g -> Fmt.pr "ground-truth definition (JMDB schema):@.%a@.@." Clause.pp_definition g
+  | None -> ());
+  let algo = Algos.castor () in
+  List.iter
+    (fun (vname, _) ->
+      let prep = Experiment.prepare ds vname in
+      let t0 = Unix.gettimeofday () in
+      let def = Experiment.train_full prep algo in
+      let dt = Unix.gettimeofday () -. t0 in
+      let n_pos = Castor_ilp.Coverage.length prep.Experiment.all_pos in
+      let n_neg = Castor_ilp.Coverage.length prep.Experiment.all_neg in
+      let m =
+        Experiment.test_metrics prep def
+          (Array.init n_pos Fun.id, Array.init n_neg Fun.id)
+      in
+      Fmt.pr "[%s] (%.2fs)  precision %.2f  recall %.2f@.%a@.@." vname dt
+        m.Metrics.precision m.Metrics.recall Clause.pp_definition def)
+    ds.Dataset.variants;
+  (* show the definition mapping at work: rewrite the golden JMDB
+     definition into the Stanford schema *)
+  match ds.Dataset.golden with
+  | Some g ->
+      let mapped = Rewrite.definition ds.Dataset.schema Imdb.to_stanford g in
+      Fmt.pr "golden definition rewritten to the Stanford schema via δτ:@.%a@."
+        Clause.pp_definition
+        { mapped with Clause.clauses = List.map Minimize.reduce mapped.Clause.clauses }
+  | None -> ()

@@ -1,0 +1,1 @@
+lib/core/castor.ml: Bottom Castor_ilp Castor_learners Castor_logic Castor_relational Coverage Covering Examples Inclusion Ind_repair Instance Minimize Plan Problem Progolem Reduction Schema

@@ -1,0 +1,1 @@
+lib/core/ind_repair.ml: Array Atom Castor_logic Castor_relational Clause List Plan String Term

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Castor_relational Fmt Hashtbl Inclusion Instance List Option Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array Atom Castor_ilp Castor_logic Castor_relational Clause Coverage Fun Hashtbl List Plan Queue String Term

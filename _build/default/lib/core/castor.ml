@@ -1,0 +1,145 @@
+(** Castor — the paper's schema independent bottom-up relational
+    learner (Section 7, Algorithm 4).
+
+    Castor follows ProGolem's beam-searched covering strategy but
+    integrates the schema's inclusion dependencies at every step:
+
+    - {b bottom-clause construction} chases INDs so every joining
+      tuple enters the clause together with its partners, and stops on
+      a distinct-variable budget rather than a depth (Section 7.1,
+      Lemma 7.5);
+    - the bottom clause is {b minimized} by θ-reduction
+      (Section 7.5.5);
+    - {b ARMG} re-establishes the INDs after each blocking-atom
+      removal (Section 7.2.1, Lemma 7.7);
+    - {b negative reduction} removes whole inclusion-class instances
+      (Algorithm 5, Lemma 7.8);
+    - optional {b safe mode} guarantees safe clauses (Section 7.3);
+    - coverage tests reuse earlier results and can run across domains
+      (Sections 7.5.3-7.5.4).
+
+    Together these make the learned definitions equivalent across
+    composition/decomposition of the schema. *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+open Castor_learners
+
+type params = {
+  sample : int;  (** K — positives sampled per generalization round *)
+  beam : int;  (** N — beam width *)
+  min_precision : float;  (** minprec *)
+  minpos : int;
+  max_clauses : int;
+  max_terms : int;  (** distinct-constant budget of the bottom clause *)
+  depth : int;  (** iteration cap of bottom-clause construction *)
+  join_limit : int;  (** tuples chased per IND per tuple (paper: 10) *)
+  mode : Inclusion.mode;  (** IND usage: equality-only or subset too *)
+  safe : bool;  (** emit only safe clauses (Section 7.3) *)
+  minimize_bottom : bool;  (** θ-reduce bottom clauses (Section 7.5.5) *)
+  reuse_plan : bool;  (** stored-procedure emulation (Section 7.5.2) *)
+  domains : int;  (** parallel coverage-test domains *)
+}
+
+let default_params =
+  {
+    sample = 5;
+    beam = 2;
+    min_precision = 0.67;
+    minpos = 2;
+    max_clauses = 30;
+    max_terms = 60;
+    depth = 2;
+    join_limit = 10;
+    mode = `Equality_only;
+    safe = false;
+    minimize_bottom = true;
+    reuse_plan = true;
+    domains = 1;
+  }
+
+(** [bottom_params ?base prm] — the saturation parameters Castor uses,
+    with the variable-budget stop condition. The frontier filter is
+    inherited from [base] (the problem's saturation parameters). *)
+let bottom_params ?(base = Bottom.default_params) prm =
+  {
+    Bottom.depth = prm.depth;
+    max_terms = Some prm.max_terms;
+    per_relation_cap = prm.join_limit;
+    no_expand_domains = base.Bottom.no_expand_domains;
+    const_domains = base.Bottom.const_domains;
+  }
+
+(** [expand_hook ?params schema] builds the IND-chase hook to thread
+    into saturations (both Castor's own bottom clauses and the
+    coverage saturations of a {!Castor_learners.Problem}). *)
+let expand_hook ?(params = default_params) instance =
+  let plan = Plan.build ~mode:params.mode ~join_limit:params.join_limit
+      (Instance.schema instance)
+  in
+  fun rel tuple -> Plan.expand plan instance rel tuple
+
+let learn_clause (prm : params) (plan : Plan.t option ref) (p : Problem.t)
+    uncovered =
+  let get_plan () =
+    match prm.reuse_plan, !plan with
+    | true, Some pl -> pl
+    | _ ->
+        let pl =
+          Plan.build ~mode:prm.mode ~join_limit:prm.join_limit
+            (Instance.schema p.Problem.instance)
+        in
+        if prm.reuse_plan then plan := Some pl;
+        pl
+  in
+  let bottom e =
+    let params = bottom_params ~base:p.Problem.bottom_params prm in
+    (* without plan reuse ("no stored procedures"), the chase metadata
+       is re-derived on every database interaction, as when the
+       bottom-clause logic is re-interpreted per call (Section 7.5.2) *)
+    let expand r tu = Plan.expand (get_plan ()) p.Problem.instance r tu in
+    let bc = Bottom.bottom_clause ~expand ~params p.Problem.instance e in
+    if prm.minimize_bottom then Minimize.reduce bc else bc
+  in
+  let armg_repair c = Ind_repair.repair (get_plan ()) c in
+  let reduce c =
+    (* negative reduction over inclusion-class instances, then
+       θ-minimization so the emitted clause is concise (Section 7.5.5:
+       "Castor also minimizes learned clauses before adding them to
+       the definition") *)
+    let c = Reduction.reduce (get_plan ()) ~safe:prm.safe p.Problem.neg_cov c in
+    if prm.minimize_bottom then Minimize.reduce ~exact_below:80 c else c
+  in
+  let progolem_params =
+    {
+      Progolem.sample = prm.sample;
+      beam = prm.beam;
+      min_precision = prm.min_precision;
+      minpos = prm.minpos;
+      max_clauses = prm.max_clauses;
+      require_safe = prm.safe;
+    }
+  in
+  Progolem.learn_clause_generic ~bottom ~armg_repair ~reduce progolem_params p
+    uncovered
+
+(** [learn ?params p] runs Castor's covering loop on problem [p].
+
+    For full schema independence the problem's coverage saturations
+    should be built with {!expand_hook} so that they, too, are
+    equivalent across schemas. *)
+let learn ?(params = default_params) (p : Problem.t) =
+  let plan = ref None in
+  Coverage.set_domains p.Problem.pos_cov params.domains;
+  Coverage.set_domains p.Problem.neg_cov params.domains;
+  let outcome =
+    Covering.run
+      ~target:p.Problem.target.Schema.rname
+      ~learn_clause:(fun uncovered -> learn_clause params plan p uncovered)
+      ~max_clauses:params.max_clauses
+      (Examples.n_pos p.Problem.train)
+  in
+  Coverage.set_domains p.Problem.pos_cov 1;
+  Coverage.set_domains p.Problem.neg_cov 1;
+  outcome.Covering.definition

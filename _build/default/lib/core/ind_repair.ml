@@ -1,0 +1,45 @@
+(** The IND-enforcement step of Castor's ARMG (Section 7.2.1).
+
+    After a blocking atom is removed, the canonical database instance
+    of the clause must keep satisfying the schema's INDs: a literal
+    [R1(u1)] is dropped when some required IND [R1[X] (=|⊆) R2[X]] has
+    no partner literal [R2(u2)] in the clause with matching projection
+    [π_X(u1) = π_X(u2)]. Dropping a literal can orphan others, so the
+    check iterates to a fixpoint. This is what makes Castor's ARMG
+    commute with composition/decomposition (Lemma 7.7, Example 7.6). *)
+
+open Castor_logic
+
+let project_terms (a : Atom.t) positions =
+  List.map (fun p -> a.Atom.args.(p)) positions
+
+let satisfied body (a : Atom.t) (cl : Plan.chase_link) =
+  let mine = project_terms a cl.Plan.src_pos in
+  List.exists
+    (fun (b : Atom.t) ->
+      String.equal b.Atom.rel cl.Plan.link.Castor_relational.Inclusion.dst
+      && (not (b == a))
+      && List.for_all2 Term.equal mine (project_terms b cl.Plan.dst_pos))
+    body
+
+(** [repair plan c] removes literals whose required INDs are unmatched
+    in [c]'s body, iterating to a fixpoint. *)
+let repair (plan : Plan.t) (c : Clause.t) =
+  let changed = ref true in
+  let body = ref c.Clause.body in
+  while !changed do
+    changed := false;
+    let keep (a : Atom.t) =
+      List.for_all
+        (fun cl ->
+          (not cl.Plan.link.Castor_relational.Inclusion.required)
+          || satisfied !body a cl)
+        (Plan.chase_links plan a.Atom.rel)
+    in
+    let body' = List.filter keep !body in
+    if List.length body' <> List.length !body then begin
+      body := body';
+      changed := true
+    end
+  done;
+  { c with Clause.body = !body }

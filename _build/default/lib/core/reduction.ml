@@ -1,0 +1,217 @@
+(** Castor's negative reduction over inclusion-class instances
+    (Algorithm 5) and its safe variant (Section 7.3.3).
+
+    Literals are grouped into {e instances of inclusion classes}: a
+    literal together with the partner literals reachable through the
+    schema's INDs with matching projections. Reduction then removes
+    whole instances — never splitting one — which is what keeps the
+    operation equivalent across composition/decomposition
+    (Lemma 7.8): an instance over the decomposed schema corresponds to
+    a single literal over the composed one. *)
+
+open Castor_logic
+open Castor_ilp
+
+let project_terms (a : Atom.t) positions =
+  List.map (fun p -> a.Atom.args.(p)) positions
+
+(** [instances plan body] computes, for each body literal, the
+    inclusion-class instance it starts; identical instances are kept
+    once, in order of their starting literal. Literals of relations
+    outside every inclusion class form singleton instances. Each
+    instance is a sorted list of body indexes. *)
+let instances (plan : Plan.t) (body : Atom.t array) =
+  let n = Array.length body in
+  let closure j =
+    let in_cl = Array.make n false in
+    in_cl.(j) <- true;
+    let queue = Queue.create () in
+    Queue.add j queue;
+    while not (Queue.is_empty queue) do
+      let k = Queue.pop queue in
+      List.iter
+        (fun (cl : Plan.chase_link) ->
+          let mine = project_terms body.(k) cl.Plan.src_pos in
+          for l = 0 to n - 1 do
+            if
+              (not in_cl.(l))
+              && String.equal body.(l).Atom.rel
+                   cl.Plan.link.Castor_relational.Inclusion.dst
+              && List.for_all2 Term.equal mine (project_terms body.(l) cl.Plan.dst_pos)
+            then begin
+              in_cl.(l) <- true;
+              Queue.add l queue
+            end
+          done)
+        (Plan.chase_links plan body.(k).Atom.rel)
+    done;
+    List.filteri (fun i _ -> in_cl.(i)) (List.init n Fun.id)
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun j ->
+      let c = closure j in
+      let key = String.concat "," (List.map string_of_int c) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some c
+      end)
+    (List.init n Fun.id)
+
+let inst_vars body inst =
+  List.fold_left
+    (fun acc i -> Term.Set.union acc (Atom.var_set body.(i)))
+    Term.Set.empty inst
+
+let clause_of_instances head (body : Atom.t array) insts =
+  let keep = Array.make (Array.length body) false in
+  List.iter (fun inst -> List.iter (fun i -> keep.(i) <- true) inst) insts;
+  Clause.make head
+    (List.filteri (fun i _ -> keep.(i)) (Array.to_list body))
+
+(* shortest chain of instances connecting [target] to the head
+   variables, via shared variables; excludes [target] itself *)
+let head_connecting body head_vars insts target =
+  let arr = Array.of_list insts in
+  let n = Array.length arr in
+  let vars = Array.map (fun i -> inst_vars body i) arr in
+  let t_idx =
+    let rec go i = if i >= n then -1 else if arr.(i) == target then i else go (i + 1) in
+    go 0
+  in
+  if t_idx < 0 then []
+  else if not (Term.Set.is_empty (Term.Set.inter vars.(t_idx) head_vars)) then []
+  else begin
+    (* BFS from head-adjacent instances towards target *)
+    let parent = Array.make n (-2) in
+    let queue = Queue.create () in
+    Array.iteri
+      (fun i v ->
+        if i <> t_idx && not (Term.Set.is_empty (Term.Set.inter v head_vars)) then begin
+          parent.(i) <- -1;
+          Queue.add i queue
+        end)
+      vars;
+    let found = ref (-1) in
+    while !found < 0 && not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      if not (Term.Set.is_empty (Term.Set.inter vars.(i) vars.(t_idx))) then
+        found := i
+      else
+        Array.iteri
+          (fun j v ->
+            if
+              parent.(j) = -2 && j <> t_idx
+              && not (Term.Set.is_empty (Term.Set.inter vars.(i) v))
+            then begin
+              parent.(j) <- i;
+              Queue.add j queue
+            end)
+          vars
+    done;
+    if !found < 0 then []
+    else begin
+      let rec walk i acc = if i < 0 then acc else walk parent.(i) (arr.(i) :: acc) in
+      walk !found []
+    end
+  end
+
+(** [reduce plan ?safe neg_cov c] removes non-essential inclusion-class
+    instances from [c] without increasing negative coverage. With
+    [safe], instances are first ordered by the number of head
+    variables they carry and discarded instances that are the sole
+    carriers of a head variable are retained (Section 7.3.3), so the
+    result stays safe. *)
+let reduce (plan : Plan.t) ?(safe = false) (neg_cov : Coverage.t) (c : Clause.t) =
+  if c.Clause.body = [] then c
+  else begin
+    let body = Array.of_list c.Clause.body in
+    let head_vars = Atom.var_set c.Clause.head in
+    let full_neg = Coverage.covered_count neg_cov c in
+    let insts0 = instances plan body in
+    let insts0 =
+      if not safe then insts0
+      else
+        (* stable sort: more head variables first *)
+        List.stable_sort
+          (fun a b ->
+            let count i =
+              Term.Set.cardinal (Term.Set.inter (inst_vars body i) head_vars)
+            in
+            compare (count b) (count a))
+          insts0
+    in
+    let current = ref insts0 in
+    let finished = ref false in
+    let result = ref c in
+    while not !finished do
+      let arr = Array.of_list !current in
+      let n = Array.length arr in
+      (* first i such that instances 0..i reach the full clause's
+         negative coverage *)
+      let rec find_i i acc =
+        if i >= n then n - 1
+        else
+          let acc = arr.(i) :: acc in
+          let cl = clause_of_instances c.Clause.head body (List.rev acc) in
+          if Coverage.covered_count neg_cov cl = full_neg then i
+          else find_i (i + 1) acc
+      in
+      let i = find_i 0 [] in
+      let yi = arr.(i) in
+      let h = head_connecting body head_vars !current yi in
+      let prefix = Array.to_list (Array.sub arr 0 i) in
+      let kept_n =
+        List.filter (fun x -> not (List.memq x h) && not (x == yi)) prefix
+      in
+      let base = h @ [ yi ] @ kept_n in
+      let extra =
+        if not safe then []
+        else begin
+          (* retain discarded instances that carry otherwise-lost head
+             variables *)
+          let have =
+            List.fold_left
+              (fun acc inst -> Term.Set.union acc (inst_vars body inst))
+              Term.Set.empty base
+          in
+          let missing = Term.Set.diff head_vars have in
+          if Term.Set.is_empty missing then []
+          else begin
+            let still = ref missing and out = ref [] in
+            Array.iter
+              (fun inst ->
+                if (not (List.memq inst base)) && not (Term.Set.is_empty !still)
+                then begin
+                  let vs = Term.Set.inter (inst_vars body inst) !still in
+                  if not (Term.Set.is_empty vs) then begin
+                    out := inst :: !out;
+                    still := Term.Set.diff !still vs
+                  end
+                end)
+              arr;
+            List.rev !out
+          end
+        end
+      in
+      let next =
+        (* dedup, preserving first occurrence *)
+        let seen = ref [] in
+        List.filter
+          (fun x ->
+            if List.memq x !seen then false
+            else begin
+              seen := x :: !seen;
+              true
+            end)
+          (base @ extra)
+      in
+      if List.length next = List.length !current then begin
+        result := clause_of_instances c.Clause.head body next;
+        finished := true
+      end
+      else current := next
+    done;
+    !result
+  end

@@ -1,0 +1,1 @@
+lib/datasets/dataset.ml: Array Atom Buffer Castor_ilp Castor_logic Castor_relational Clause Examples Filename Fmt Hashtbl Instance Lexer List Random Schema String Sys Text Transform Tuple Value

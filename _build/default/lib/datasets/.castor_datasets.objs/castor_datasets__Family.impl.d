@@ -1,0 +1,1 @@
+lib/datasets/family.ml: Array Atom Castor_ilp Castor_logic Castor_relational Clause Dataset Examples Gen Instance List Printf Random Schema Term Transform Value

@@ -1,0 +1,1 @@
+lib/datasets/hiv.ml: Array Atom Castor_ilp Castor_logic Castor_relational Dataset Examples Gen Hashtbl Instance List Printf Random Schema String Term Transform Value

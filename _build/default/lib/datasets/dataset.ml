@@ -1,0 +1,249 @@
+(** Common shape of the benchmark datasets.
+
+    Each dataset carries a base schema and instance, labeled examples
+    of a target relation, and a list of named schema {e variants},
+    each given as a composition/decomposition transformation from the
+    base. Variant instances are obtained by actually applying τ, so
+    all variants of a dataset are information equivalent by
+    construction — the precondition of the schema-independence
+    experiments (Section 9.1.1). *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  instance : Instance.t;
+  target : Schema.relation;  (** target declaration (not in schema) *)
+  examples : Examples.t;
+  const_pool : (string * Value.t list) list;
+      (** constants top-down learners may place in literals *)
+  no_expand_domains : string list;
+      (** low-selectivity attribute domains kept off the saturation
+          frontier (see {!Castor_ilp.Bottom.params}) *)
+  variants : (string * Transform.t) list;
+      (** named transformations from the base schema; the base itself
+          is included with an empty transformation *)
+  golden : Clause.definition option;
+      (** an exact definition of the target over the base schema, when
+          one exists (used by oracle experiments and sanity tests) *)
+}
+
+(** One concrete (schema, instance) pair of a dataset. *)
+type variant = {
+  variant_name : string;
+  vschema : Schema.t;
+  vinstance : Instance.t;
+  vtransform : Transform.t;
+}
+
+(** [variant_named t name] materializes variant [name] by applying its
+    transformation to the base instance. *)
+let variant_named t name =
+  match List.assoc_opt name t.variants with
+  | None -> invalid_arg ("unknown variant " ^ name)
+  | Some tr ->
+      {
+        variant_name = name;
+        vschema = Transform.apply_schema t.schema tr;
+        vinstance = Transform.apply_instance t.instance tr;
+        vtransform = tr;
+      }
+
+(** [all_variants t] materializes every variant, in declared order. *)
+let all_variants t = List.map (fun (n, _) -> variant_named t n) t.variants
+
+(* ------------------------------------------------------------------ *)
+(* Import / export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [derive_value_domains inst] partitions attribute domains by
+    selectivity: domains whose distinct-value count is small (≤
+    [threshold]) behave like categorical attributes — their values are
+    offered to top-down learners as constants and kept off the
+    saturation frontier — while high-selectivity domains are treated
+    as entity keys. This reconstructs the mode information that
+    exported datasets do not carry. *)
+let derive_value_domains ?(threshold = 24) inst =
+  let schema = Instance.schema inst in
+  let by_domain : (string, Value.Set.t ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Schema.relation) ->
+      List.iter
+        (fun (a : Schema.attribute) ->
+          let vals = Instance.column_values inst r.Schema.rname a.Schema.aname in
+          let bucket =
+            match Hashtbl.find_opt by_domain a.Schema.domain with
+            | Some b -> b
+            | None ->
+                let b = ref Value.Set.empty in
+                Hashtbl.add by_domain a.Schema.domain b;
+                b
+          in
+          bucket := List.fold_left (fun s v -> Value.Set.add v s) !bucket vals)
+        r.Schema.attrs)
+    schema.Schema.relations;
+  Hashtbl.fold
+    (fun dom vals (cat, ent) ->
+      if Value.Set.cardinal !vals <= threshold then
+        ((dom, Value.Set.elements !vals) :: cat, ent)
+      else (cat, dom :: ent))
+    by_domain ([], [])
+
+(** [of_instance ~name ~target instance examples] wraps a raw problem
+    as a dataset, deriving constant pools and frontier filters from
+    value selectivity ({!derive_value_domains}). *)
+let of_instance ~name ~target instance (examples : Examples.t) =
+  let const_pool, _entity = derive_value_domains instance in
+  {
+    name;
+    schema = Instance.schema instance;
+    instance;
+    target;
+    examples;
+    const_pool;
+    no_expand_domains = List.map fst const_pool;
+    variants = [ ("base", []) ];
+    golden = None;
+  }
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(** [export t dir] writes [schema.castor], [facts.castor] and
+    [examples.castor] (target declaration plus labeled facts) for the
+    dataset's base schema. *)
+let export t dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  write_file (Filename.concat dir "schema.castor")
+    (Castor_relational.Text.schema_to_string t.schema);
+  write_file (Filename.concat dir "facts.castor")
+    (Castor_relational.Text.facts_to_string t.instance);
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Fmt.str "target %s(%s).\n" t.target.Schema.rname
+       (String.concat ", "
+          (List.map
+             (fun (a : Schema.attribute) ->
+               a.Schema.aname ^ ": " ^ a.Schema.domain)
+             t.target.Schema.attrs)));
+  Array.iter
+    (fun e -> Buffer.add_string buf (Fmt.str "pos %s.\n" (Atom.to_string e)))
+    t.examples.Examples.pos;
+  Array.iter
+    (fun e -> Buffer.add_string buf (Fmt.str "neg %s.\n" (Atom.to_string e)))
+    t.examples.Examples.neg;
+  write_file (Filename.concat dir "examples.castor") (Buffer.contents buf)
+
+(** [import ~name dir] reads a dataset back from {!export}'s layout. *)
+let import ~name dir =
+  let open Castor_relational in
+  let schema = Text.parse_schema (read_file (Filename.concat dir "schema.castor")) in
+  let instance = Text.parse_facts schema (read_file (Filename.concat dir "facts.castor")) in
+  let c = Lexer.cursor (Lexer.tokenize (read_file (Filename.concat dir "examples.castor"))) in
+  let target = ref None in
+  let pos = ref [] and neg = ref [] in
+  let parse_example () =
+    let rel = Lexer.ident c in
+    Lexer.expect c Lexer.Lparen;
+    let rec args acc =
+      let v =
+        match Lexer.next c with
+        | Lexer.Int n -> Value.int n
+        | Lexer.Ident s -> Value.str s
+        | t -> Lexer.error "expected constant in example, found %a" Lexer.pp_token t
+      in
+      match Lexer.next c with
+      | Lexer.Comma -> args (v :: acc)
+      | Lexer.Rparen -> List.rev (v :: acc)
+      | t -> Lexer.error "expected ',' or ')' in example, found %a" Lexer.pp_token t
+    in
+    let vs = args [] in
+    Lexer.expect c Lexer.Dot;
+    Atom.of_tuple rel (Tuple.of_list vs)
+  in
+  let rec go () =
+    match Lexer.next c with
+    | Lexer.Eof -> ()
+    | Lexer.Ident "target" ->
+        let rname = Lexer.ident c in
+        Lexer.expect c Lexer.Lparen;
+        let rec attrs acc =
+          let aname = Lexer.ident c in
+          Lexer.expect c Lexer.Colon;
+          let domain = Lexer.ident c in
+          let acc = Schema.attribute ~domain aname :: acc in
+          match Lexer.next c with
+          | Lexer.Comma -> attrs acc
+          | Lexer.Rparen -> List.rev acc
+          | t -> Lexer.error "expected ',' or ')' in target, found %a" Lexer.pp_token t
+        in
+        let attrs = attrs [] in
+        Lexer.expect c Lexer.Dot;
+        target := Some (Schema.relation rname attrs);
+        go ()
+    | Lexer.Ident "pos" ->
+        pos := parse_example () :: !pos;
+        go ()
+    | Lexer.Ident "neg" ->
+        neg := parse_example () :: !neg;
+        go ()
+    | t -> Lexer.error "expected 'target', 'pos' or 'neg', found %a" Lexer.pp_token t
+  in
+  go ();
+  match !target with
+  | None -> Lexer.error "examples.castor declares no target"
+  | Some target ->
+      of_instance ~name ~target instance
+        (Examples.make ~pos:(List.rev !pos) ~neg:(List.rev !neg))
+
+(** Deterministic helpers shared by the generators. *)
+module Gen = struct
+  let rng seed = Random.State.make [| seed |]
+
+  let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+  let pick_list rng l = List.nth l (Random.State.int rng (List.length l))
+
+  let chance rng p = Random.State.float rng 1.0 < p
+
+  let shuffle rng l =
+    let a = Array.of_list l in
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+
+  (** [sample_pairs rng n xs ys ~avoid] draws up to [n] distinct pairs
+      from [xs × ys] not satisfying [avoid]. *)
+  let sample_pairs rng n xs ys ~avoid =
+    let xs = Array.of_list xs and ys = Array.of_list ys in
+    let seen = Hashtbl.create 64 in
+    let out = ref [] in
+    let attempts = ref 0 in
+    let limit = 50 * n in
+    while List.length !out < n && !attempts < limit do
+      incr attempts;
+      let x = pick rng xs and y = pick rng ys in
+      let k = Value.to_string x ^ "/" ^ Value.to_string y in
+      if (not (Hashtbl.mem seen k)) && not (avoid x y) then begin
+        Hashtbl.add seen k ();
+        out := (x, y) :: !out
+      end
+    done;
+    List.rev !out
+end

@@ -1,0 +1,129 @@
+(** A miniature family database for the quickstart example and smoke
+    tests: people in a random forest of families, with a decomposed
+    variant that splits the person relation — enough to watch Castor
+    learn [grandparent] and stay schema independent, without the full
+    benchmark machinery. *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+open Dataset
+
+let person = "person"
+
+let schema =
+  let a = Schema.attribute in
+  Schema.make
+    ~fds:
+      [
+        { Schema.fd_rel = "gender"; fd_lhs = [ "p" ]; fd_rhs = [ "g" ] };
+        { Schema.fd_rel = "ageGroup"; fd_lhs = [ "p" ]; fd_rhs = [ "age" ] };
+      ]
+    ~inds:
+      [
+        Schema.ind_with_equality "gender" [ "p" ] "ageGroup" [ "p" ];
+        Schema.ind_subset "parent" [ "x" ] "gender" [ "p" ];
+        Schema.ind_subset "parent" [ "y" ] "gender" [ "p" ];
+      ]
+    [
+      Schema.relation "parent" [ a ~domain:person "x"; a ~domain:person "y" ];
+      Schema.relation "gender" [ a ~domain:person "p"; a ~domain:"gender" "g" ];
+      Schema.relation "ageGroup" [ a ~domain:person "p"; a ~domain:"age" "age" ];
+    ]
+
+(** Variant that composes gender and ageGroup into one person
+    relation. *)
+let to_composed : Transform.t =
+  [ Transform.Compose { parts = [ "gender"; "ageGroup" ]; into = "person" } ]
+
+type config = { n_roots : int; depth : int; seed : int }
+
+let default_config = { n_roots = 12; depth = 3; seed = 3 }
+
+let generate ?(config = default_config) () =
+  let rng = Gen.rng config.seed in
+  let inst = Instance.create schema in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Value.str (Printf.sprintf "p%d" !counter)
+  in
+  let people = ref [] in
+  let add_person p depth =
+    people := (p, depth) :: !people;
+    Instance.add_list inst "gender"
+      [ p; Value.str (if Gen.chance rng 0.5 then "male" else "female") ];
+    Instance.add_list inst "ageGroup"
+      [
+        p;
+        Value.str
+          (match depth with 0 -> "senior" | 1 -> "adult" | _ -> "young");
+      ]
+  in
+  let rec grow p depth =
+    if depth < config.depth then begin
+      let n_children = 1 + Random.State.int rng 3 in
+      for _ = 1 to n_children do
+        let c = fresh () in
+        add_person c (depth + 1);
+        Instance.add_list inst "parent" [ p; c ];
+        grow c (depth + 1)
+      done
+    end
+  in
+  for _ = 1 to config.n_roots do
+    let r = fresh () in
+    add_person r 0;
+    grow r 0
+  done;
+  (* grandparent pairs via the parent relation *)
+  let parents = Instance.tuples inst "parent" in
+  let gp = ref [] in
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          if Value.equal t1.(1) t2.(0) then gp := (t1.(0), t2.(1)) :: !gp)
+        parents)
+    parents;
+  let is_gp a b = List.exists (fun (x, y) -> Value.equal a x && Value.equal b y) !gp in
+  let all_people = List.map fst !people in
+  let mk (a, b) = Atom.make "grandparent" [ Term.Const a; Term.Const b ] in
+  let pos = List.map mk !gp in
+  let neg =
+    Gen.sample_pairs rng (2 * List.length pos) all_people all_people ~avoid:is_gp
+    |> List.map mk
+  in
+  let target =
+    Schema.relation "grandparent"
+      [ Schema.attribute ~domain:person "a"; Schema.attribute ~domain:person "b" ]
+  in
+  let golden =
+    {
+      Clause.target = "grandparent";
+      clauses =
+        [
+          Clause.make
+            (Atom.make "grandparent" [ Term.Var "x"; Term.Var "z" ])
+            [
+              Atom.make "parent" [ Term.Var "x"; Term.Var "y" ];
+              Atom.make "parent" [ Term.Var "y"; Term.Var "z" ];
+            ];
+        ];
+    }
+  in
+  {
+    name = "family";
+    schema;
+    instance = inst;
+    target;
+    examples = Examples.make ~pos ~neg;
+    const_pool =
+      [
+        ("gender", [ Value.str "male"; Value.str "female" ]);
+        ("age", [ Value.str "senior"; Value.str "adult"; Value.str "young" ]);
+      ];
+    variants = [ ("base", []); ("composed", to_composed) ];
+    no_expand_domains = [ "gender"; "age" ];
+    golden = Some golden;
+  }

@@ -1,0 +1,1 @@
+lib/eval/algos.ml: Castor Castor_core Castor_learners Experiment Foil Golem Printf Progol Progolem

@@ -1,0 +1,1 @@
+lib/eval/report.ml: Buffer Experiment List Metrics Printf String

@@ -1,0 +1,28 @@
+(** Precision / recall of a learned definition over a labeled test set
+    (Section 9.1.3). *)
+
+type t = { precision : float; recall : float }
+
+(** [of_counts ~tp ~fp ~pos_total] — precision is TP/(TP+FP) (0 when
+    the definition covers nothing), recall is TP over the number of
+    positive test examples. *)
+let of_counts ~tp ~fp ~pos_total =
+  {
+    precision = (if tp + fp = 0 then 0. else float_of_int tp /. float_of_int (tp + fp));
+    recall = (if pos_total = 0 then 0. else float_of_int tp /. float_of_int pos_total);
+  }
+
+let average l =
+  let n = float_of_int (List.length l) in
+  if l = [] then { precision = 0.; recall = 0. }
+  else
+    {
+      precision = List.fold_left (fun a m -> a +. m.precision) 0. l /. n;
+      recall = List.fold_left (fun a m -> a +. m.recall) 0. l /. n;
+    }
+
+let f1 m =
+  if m.precision +. m.recall = 0. then 0.
+  else 2. *. m.precision *. m.recall /. (m.precision +. m.recall)
+
+let pp ppf m = Fmt.pf ppf "P=%.2f R=%.2f" m.precision m.recall

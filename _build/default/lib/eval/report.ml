@@ -1,0 +1,81 @@
+(** Plain-text table rendering in the layout of the paper's result
+    tables: one block per schema variant, one row per algorithm with
+    precision, recall and learning time. *)
+
+let hline width = String.make width '-'
+
+(** [table ~title rows] groups rows by schema and prints the
+    algorithm × (precision, recall, time) matrix. *)
+let table ~title (rows : Experiment.row list) =
+  let schemas =
+    List.fold_left
+      (fun acc (r : Experiment.row) ->
+        if List.mem r.Experiment.schema_name acc then acc
+        else acc @ [ r.Experiment.schema_name ])
+      [] rows
+  in
+  let algos =
+    List.fold_left
+      (fun acc (r : Experiment.row) ->
+        if List.mem r.Experiment.algo acc then acc else acc @ [ r.Experiment.algo ])
+      [] rows
+  in
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "%s\n%s\n" title (hline (String.length title));
+  pf "%-22s %-11s" "Algorithm" "Metric";
+  List.iter (fun s -> pf " %12s" s) schemas;
+  pf "\n%s\n" (hline (34 + (13 * List.length schemas)));
+  List.iter
+    (fun algo ->
+      let cell schema f =
+        match
+          List.find_opt
+            (fun (r : Experiment.row) ->
+              String.equal r.Experiment.algo algo
+              && String.equal r.Experiment.schema_name schema)
+            rows
+        with
+        | Some r -> f r
+        | None -> "-"
+      in
+      pf "%-22s %-11s" algo "Precision";
+      List.iter
+        (fun s ->
+          pf " %12s"
+            (cell s (fun r -> Printf.sprintf "%.2f" r.Experiment.metrics.Metrics.precision)))
+        schemas;
+      pf "\n%-22s %-11s" "" "Recall";
+      List.iter
+        (fun s ->
+          pf " %12s"
+            (cell s (fun r -> Printf.sprintf "%.2f" r.Experiment.metrics.Metrics.recall)))
+        schemas;
+      pf "\n%-22s %-11s" "" "Time (s)";
+      List.iter
+        (fun s -> pf " %12s" (cell s (fun r -> Printf.sprintf "%.2f" r.Experiment.time_s)))
+        schemas;
+      pf "\n%s\n" (hline (34 + (13 * List.length schemas))))
+    algos;
+  Buffer.contents buf
+
+(** [series ~title ~xlabel points] prints a one-dimensional sweep
+    (used for Figure 2 / Figure 3 output). Each point is
+    [(x, (label, value) list)]. *)
+let series ~title ~xlabel (points : (string * (string * float) list) list) =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "%s\n%s\n" title (hline (String.length title));
+  let labels =
+    match points with [] -> [] | (_, l) :: _ -> List.map fst l
+  in
+  pf "%-14s" xlabel;
+  List.iter (fun l -> pf " %14s" l) labels;
+  pf "\n";
+  List.iter
+    (fun (x, vals) ->
+      pf "%-14s" x;
+      List.iter (fun (_, v) -> pf " %14.3f" v) vals;
+      pf "\n")
+    points;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/ilp/armg.ml: Castor_logic Clause Coverage List Stats

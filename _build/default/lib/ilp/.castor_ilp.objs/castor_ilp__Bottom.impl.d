@@ -1,0 +1,1 @@
+lib/ilp/bottom.ml: Array Atom Castor_logic Castor_relational Clause Fmt Hashtbl Instance List Option Printf Schema Stats String Term Tuple Value

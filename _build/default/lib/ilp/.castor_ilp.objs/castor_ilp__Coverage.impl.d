@@ -1,0 +1,1 @@
+lib/ilp/coverage.ml: Array Atom Bottom Castor_logic Clause Fun Hashtbl List Parallel Stats Subsume Unix

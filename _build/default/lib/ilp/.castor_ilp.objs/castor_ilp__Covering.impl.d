@@ -1,0 +1,1 @@
+lib/ilp/covering.ml: Array Castor_logic Clause List

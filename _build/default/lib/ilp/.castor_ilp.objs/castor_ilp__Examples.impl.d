@@ -1,0 +1,1 @@
+lib/ilp/examples.ml: Array Atom Castor_logic Castor_relational Fmt Hashtbl Instance List Random Schema String Term Value

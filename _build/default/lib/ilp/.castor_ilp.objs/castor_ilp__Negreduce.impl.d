@@ -1,0 +1,1 @@
+lib/ilp/negreduce.ml: Array Castor_logic Clause Coverage List

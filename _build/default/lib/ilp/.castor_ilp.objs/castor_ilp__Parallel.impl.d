@@ -1,0 +1,1 @@
+lib/ilp/parallel.ml: Array Condition Domain Fun Mutex Queue

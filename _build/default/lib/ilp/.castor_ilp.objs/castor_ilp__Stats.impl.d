@@ -1,0 +1,1 @@
+lib/ilp/stats.ml: Fmt

@@ -1,0 +1,51 @@
+(** Asymmetric relative minimal generalization (Algorithm 3).
+
+    Given an ordered clause [C] (typically a bottom clause ⊥e) and a
+    positive example [e'], repeatedly locate and remove the {e
+    blocking atom} — the first body literal [Li] such that the prefix
+    [T ← L1..Li] fails to cover [e'] — then drop literals that are no
+    longer head-connected, until the clause covers [e'].
+
+    Prefix coverage is antitone in the prefix length (adding literals
+    only specializes), so the blocking atom is found by binary search
+    with O(log n) subsumption tests instead of a linear scan.
+
+    The [repair] hook runs right after each blocking-atom removal;
+    Castor passes the IND-enforcement step of Section 7.2.1 and plain
+    ProGolem passes the identity. *)
+
+open Castor_logic
+
+let prefix_clause (c : Clause.t) k =
+  { c with Clause.body = List.filteri (fun i _ -> i < k) c.Clause.body }
+
+(** [generalize ?repair cov c i] computes armg(C, e_i) where [e_i] is
+    the [i]-th example of [cov]. Returns [None] when even the bare
+    head fails to cover [e_i] (then no generalization of [C] along
+    this example exists). *)
+let generalize ?(repair = fun c -> c) (cov : Coverage.t) (c : Clause.t) i =
+  Stats.current.Stats.armg_calls <- Stats.current.Stats.armg_calls + 1;
+  let covers_prefix c k = Coverage.covers cov (prefix_clause c k) i in
+  if not (covers_prefix c 0) then None
+  else
+    let current = ref c in
+    let continue = ref true in
+    while !continue do
+      let n = Clause.length !current in
+      if covers_prefix !current n then continue := false
+      else begin
+        (* least k in [1..n] with prefix(k) failing; prefix(0) covers *)
+        let lo = ref 0 and hi = ref n in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if covers_prefix !current mid then lo := mid else hi := mid
+        done;
+        let blocking = !hi - 1 in
+        Stats.current.Stats.blocking_removals <-
+          Stats.current.Stats.blocking_removals + 1;
+        let body = List.filteri (fun j _ -> j <> blocking) !current.Clause.body in
+        current := Clause.head_connected (repair { !current with Clause.body = body });
+        if Clause.length !current = 0 then continue := false
+      end
+    done;
+    Some !current

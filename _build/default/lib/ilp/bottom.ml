@@ -1,0 +1,248 @@
+(** Bottom-clause construction (Section 6.1).
+
+    Starting from a ground target atom, the algorithm repeatedly
+    scans the database for tuples containing in-play constants and
+    adds them as ground literals; constants first seen at iteration
+    [i] generate literals of depth at most [i+1]. The result is the
+    {e saturation} (ground bottom clause); variabilizing it yields
+    the bottom clause [⊥e] used by bottom-up learners.
+
+    The [expand] hook is how Castor plugs its IND chase in
+    (Section 7.1): whenever a tuple is admitted, [expand] may return
+    further (relation, tuple) pairs to admit in the same iteration.
+
+    Stopping conditions: [depth] bounds the number of iterations (the
+    classic parameter); [max_terms] bounds the number of distinct
+    constants, which is Castor's schema-independent stop condition
+    (distinct variables are preserved by (de)composition, depths are
+    not — Example 6.2). [per_relation_cap] bounds how many literals of
+    one relation symbol a single in-play constant may contribute per
+    iteration (the paper uses 10 on IMDb). *)
+
+open Castor_relational
+open Castor_logic
+
+type params = {
+  depth : int;
+  max_terms : int option;
+  per_relation_cap : int;
+  no_expand_domains : string list;
+      (** attribute domains whose constants are not put on the
+          frontier — the counterpart of ILP mode declarations for
+          low-selectivity "attribute" values (phases, course levels,
+          bond types, ...). Domains are attached to attributes, which
+          (de)composition preserves, so the filter is itself schema
+          independent. *)
+  const_domains : string list;
+      (** attribute domains whose constants survive variabilization —
+          the counterpart of ILP [#]-mode (constant) declarations;
+          this is what lets clauses like [genre(g, drama)] or
+          [student(x, prelim, 3)] (Example 6.5) be expressed *)
+}
+
+let default_params =
+  {
+    depth = 2;
+    max_terms = None;
+    per_relation_cap = 10;
+    no_expand_domains = [];
+    const_domains = [];
+  }
+
+(* canonical, schema-independent sort key of a tuple / literal group:
+   the multiset of its constants, sorted and printed *)
+let tuple_key (tu : Tuple.t) =
+  Array.to_list tu |> List.map Value.to_string |> List.sort compare
+  |> String.concat "\x00"
+
+(* The key is the SET of constants of the group's full chase closure:
+   the closure is the reconstructed joined row, whose constant set is
+   identical across (de)compositions, whereas literal multisets are
+   not (a shared entity is stored once under a decomposed schema but
+   repeated per joined row under a composed one). *)
+let group_key (lits : Atom.t list) =
+  List.concat_map
+    (fun (a : Atom.t) -> List.map Value.to_string (Atom.constants a))
+    lits
+  |> List.sort_uniq compare |> String.concat "\x00"
+
+(** [saturation ?expand ~params inst e] builds the ground bottom
+    clause of example [e] relative to [inst].
+
+    Castor's ARMG and negative reduction need the literal order of
+    saturations to {e correspond} across composition/decomposition
+    (Lemmas 7.5 and 7.7 assume an order-preserving mapping between
+    equivalent bottom clauses). Admission order as such is schema
+    dependent — relation lists differ across schemas — so the literals
+    of each iteration are emitted as {e groups} (a triggering tuple
+    together with its IND-chase closure, i.e. one inclusion-class
+    instance) sorted by the group's constant multiset, which is pure
+    data and therefore identical across information-equivalent
+    schemas. *)
+let saturation ?(expand = fun _ _ -> []) ~params inst (e : Atom.t) =
+  Stats.current.Stats.saturations <- Stats.current.Stats.saturations + 1;
+  let schema = Instance.schema inst in
+  let rels = List.map (fun (r : Schema.relation) -> r.Schema.rname) schema.Schema.relations in
+  let expandable_pos =
+    (* positions of each relation whose domain may join the frontier *)
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Schema.relation) ->
+        let flags =
+          List.map
+            (fun (a : Schema.attribute) ->
+              not (List.mem a.Schema.domain params.no_expand_domains))
+            r.Schema.attrs
+        in
+        Hashtbl.replace tbl r.Schema.rname (Array.of_list flags))
+      schema.Schema.relations;
+    tbl
+  in
+  let body = ref [] in
+  let present : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let constants : (Value.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let n_constants () = Hashtbl.length constants in
+  let pending_constants = ref [] in
+  let note_constant v =
+    if not (Hashtbl.mem constants v) then begin
+      Hashtbl.replace constants v ();
+      pending_constants := v :: !pending_constants
+    end
+  in
+  Array.iter
+    (function Term.Const v -> note_constant v | Term.Var _ -> ())
+    e.Atom.args;
+  let admit rel (tu : Tuple.t) =
+    let key = rel ^ Fmt.str "%a" Tuple.pp tu in
+    if Hashtbl.mem present key then false
+    else begin
+      Hashtbl.replace present key ();
+      let flags = Hashtbl.find expandable_pos rel in
+      Array.iteri (fun i v -> if flags.(i) then note_constant v) tu;
+      true
+    end
+  in
+  let over_budget () =
+    match params.max_terms with
+    | Some m -> n_constants () >= m
+    | None -> false
+  in
+  (try
+     for _i = 1 to params.depth do
+       if over_budget () then raise Exit;
+       (* canonical frontier order: by constant value *)
+       let in_play = List.sort Value.compare !pending_constants in
+       pending_constants := [];
+       let groups = ref [] in
+       List.iter
+         (fun v ->
+           List.iter
+             (fun rel ->
+               (* canonical hit order so per-relation caps select the
+                  same data in every schema *)
+               let hits =
+                 List.sort
+                   (fun a b -> compare (tuple_key a) (tuple_key b))
+                   (Instance.tuples_containing inst rel v)
+               in
+               let rec take n = function
+                 | [] -> ()
+                 | tu :: rest ->
+                     if n <= 0 then ()
+                     else begin
+                       let was_new = admit rel tu in
+                       if was_new then begin
+                         (* IND chase: the group is the triggering
+                            tuple plus its joining closure. The key is
+                            computed over the WHOLE closure — even
+                            tuples admitted earlier by other groups —
+                            so it stays schema independent; only the
+                            new literals are emitted. *)
+                         let closure = expand rel tu in
+                         let chased = List.filter (fun (r, t) -> admit r t) closure in
+                         let all_lits =
+                           Atom.of_tuple rel tu
+                           :: List.map (fun (r, t) -> Atom.of_tuple r t) closure
+                         in
+                         let new_lits =
+                           Atom.of_tuple rel tu
+                           :: List.map (fun (r, t) -> Atom.of_tuple r t) chased
+                         in
+                         groups := (group_key all_lits, new_lits) :: !groups
+                       end;
+                       take (if was_new then n - 1 else n) rest
+                     end
+               in
+               take params.per_relation_cap hits)
+             rels)
+         in_play;
+       let sorted = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !groups) in
+       List.iter (fun (_, lits) -> List.iter (fun l -> body := l :: !body) lits) sorted;
+       if over_budget () then raise Exit
+     done
+   with Exit -> ());
+  Clause.make e (List.rev !body)
+
+(** [variabilize ~schema ~params c] replaces constants by variables
+    (one fresh variable per distinct constant), except at positions
+    whose attribute domain is listed in [params.const_domains] — those
+    keep their constant, as with ILP constant-mode declarations. Head
+    constants are always variabilized. *)
+let variabilize ~schema ~params (c : Clause.t) =
+  let module VM = Value.Map in
+  let table = ref VM.empty in
+  let counter = ref 0 in
+  let var_for const =
+    match VM.find_opt const !table with
+    | Some v -> v
+    | None ->
+        let v = Printf.sprintf "V%d" !counter in
+        incr counter;
+        table := VM.add const v !table;
+        v
+  in
+  let keep_pos = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Schema.relation) ->
+      Hashtbl.replace keep_pos r.Schema.rname
+        (Array.of_list
+           (List.map
+              (fun (a : Schema.attribute) ->
+                List.mem a.Schema.domain params.const_domains)
+              r.Schema.attrs)))
+    schema.Schema.relations;
+  let conv_head (a : Atom.t) =
+    {
+      a with
+      Atom.args =
+        Array.map
+          (function
+            | Term.Const v -> Term.Var (var_for v)
+            | Term.Var _ as t -> t)
+          a.Atom.args;
+    }
+  in
+  let conv_body (a : Atom.t) =
+    let keep =
+      Option.value
+        ~default:(Array.make (Atom.arity a) false)
+        (Hashtbl.find_opt keep_pos a.Atom.rel)
+    in
+    {
+      a with
+      Atom.args =
+        Array.mapi
+          (fun i t ->
+            match t with
+            | Term.Const v when not keep.(i) -> Term.Var (var_for v)
+            | t -> t)
+          a.Atom.args;
+    }
+  in
+  { Clause.head = conv_head c.Clause.head; body = List.map conv_body c.Clause.body }
+
+(** [bottom_clause ?expand ~params inst e] is the variabilized bottom
+    clause [⊥e]. *)
+let bottom_clause ?expand ~params inst e =
+  let sat = saturation ?expand ~params inst e in
+  variabilize ~schema:(Instance.schema inst) ~params sat

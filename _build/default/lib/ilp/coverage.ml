@@ -1,0 +1,143 @@
+(** Coverage testing (Section 7.5.3-7.5.4).
+
+    A candidate clause [C] covers example [e] iff [C] θ-subsumes the
+    ground bottom clause [⊥e]. The ground bottom clauses of all
+    training examples are precomputed once per (dataset, schema) and
+    reused by every learner, exactly like the paper's per-example
+    saturations.
+
+    Two optimizations from the paper are implemented here: a
+    memoization table keyed by the printed clause (reusing earlier
+    coverage tests), and the generality shortcut — when testing a
+    clause known to be more general than a previously tested one, the
+    examples already covered need not be re-tested. Coverage tests
+    can also be fanned out over domains ({!Parallel}). *)
+
+open Castor_logic
+
+type t = {
+  examples : Atom.t array;
+  bottoms : Clause.t array;  (** ground bottom clause per example *)
+  max_steps : int;
+  cache : (string, bool array) Hashtbl.t;
+  mutable cache_enabled : bool;
+  mutable domains : int;
+}
+
+(** [build ?expand ~params ~max_steps inst examples] precomputes the
+    saturations of [examples]. *)
+let build ?expand ~params ?(max_steps = 250_000) inst (examples : Atom.t array) =
+  let bottoms =
+    Array.map (fun e -> Bottom.saturation ?expand ~params inst e) examples
+  in
+  {
+    examples;
+    bottoms;
+    max_steps;
+    cache = Hashtbl.create 256;
+    cache_enabled = true;
+    domains = 1;
+  }
+
+let length t = Array.length t.examples
+
+(** Cumulative wall-clock spent in batch [vector] calls and in single
+    [covers] tests since program start — used by the benches to report
+    where learning time goes. *)
+let time_in_vector = ref 0.
+
+let time_in_covers = ref 0.
+
+(** Slowest [vector] calls so far: (seconds, clause), newest-biased;
+    for performance diagnosis in the benches. *)
+let slow_vectors : (float * string) list ref = ref []
+
+let note_slow dt clause =
+  if dt > 0.05 then
+    slow_vectors :=
+      (dt, Clause.to_string clause)
+      :: (if List.length !slow_vectors > 40 then
+            List.filteri (fun i _ -> i < 39) !slow_vectors
+          else !slow_vectors)
+
+(** [sub t idxs] is the coverage structure restricted to the examples
+    at [idxs] — saturations are shared, so cross-validation folds cost
+    nothing extra. *)
+let sub t idxs =
+  {
+    examples = Array.map (fun i -> t.examples.(i)) idxs;
+    bottoms = Array.map (fun i -> t.bottoms.(i)) idxs;
+    max_steps = t.max_steps;
+    cache = Hashtbl.create 64;
+    cache_enabled = t.cache_enabled;
+    domains = t.domains;
+  }
+
+let set_domains t n = t.domains <- max 1 n
+
+let set_cache t b = t.cache_enabled <- b
+
+let clear_cache t = Hashtbl.reset t.cache
+
+(** [covers t clause i] tests coverage of the [i]-th example alone. *)
+let covers t clause i =
+  let t0 = Unix.gettimeofday () in
+  Stats.current.Stats.subsumption_tests <- Stats.current.Stats.subsumption_tests + 1;
+  let r = Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i) in
+  time_in_covers := !time_in_covers +. (Unix.gettimeofday () -. t0);
+  r
+
+(** [vector ?assume ?within t clause] returns the boolean coverage
+    vector of [clause] over all examples.
+
+    [assume] marks examples already known to be covered (because
+    [clause] generalizes a clause that covered them); those are not
+    re-tested. [within] marks the only examples that can possibly be
+    covered (because [clause] specializes a clause whose coverage was
+    [within]); the rest are reported uncovered without testing. These
+    are the paper's coverage-test reuse optimizations
+    (Section 7.5.4). *)
+let vector ?assume ?within t clause =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      time_in_vector := !time_in_vector +. dt;
+      note_slow dt clause)
+  @@ fun () ->
+  (* masked queries bypass the cache: their vectors are only valid for
+     that particular mask *)
+  let cacheable = t.cache_enabled && assume = None && within = None in
+  let key = Clause.to_string clause in
+  Stats.current.Stats.coverage_vectors <- Stats.current.Stats.coverage_vectors + 1;
+  match (if t.cache_enabled then Hashtbl.find_opt t.cache key else None) with
+  | Some v ->
+      Stats.current.Stats.cache_hits <- Stats.current.Stats.cache_hits + 1;
+      (* a cached unmasked vector answers masked queries exactly *)
+      (match within with
+      | Some mask -> Array.mapi (fun i b -> b && mask.(i)) v
+      | None -> Array.copy v)
+  | None ->
+      let test i =
+        match within with
+        | Some mask when not mask.(i) -> false
+        | _ -> (
+            match assume with
+            | Some known when known.(i) -> true
+            | _ ->
+                Stats.current.Stats.subsumption_tests <-
+                  Stats.current.Stats.subsumption_tests + 1;
+                Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i))
+      in
+      let v =
+        if t.domains <= 1 then Array.init (length t) test
+        else Parallel.init ~domains:t.domains (length t) test
+      in
+      if cacheable then Hashtbl.replace t.cache key (Array.copy v);
+      v
+
+let count v = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v
+
+(** [covered_count ?assume ?within t clause] = number of covered
+    examples. *)
+let covered_count ?assume ?within t clause =
+  count (vector ?assume ?within t clause)

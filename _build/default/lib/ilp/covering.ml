@@ -1,0 +1,44 @@
+(** The generic covering loop (Algorithm 1).
+
+    Learns one clause at a time with a supplied [learn_clause]
+    procedure, adds it to the hypothesis if it meets the minimum
+    condition, discards the positives it covers, and repeats until no
+    positives remain or no further clause can be learned. *)
+
+open Castor_logic
+
+type outcome = {
+  definition : Clause.definition;
+  uncovered_pos : int;  (** positives left uncovered by the hypothesis *)
+}
+
+(** [run ~target ~learn_clause ~pos_cov n_pos] drives the loop.
+
+    [learn_clause uncovered] receives the boolean mask of positives
+    still to cover and returns a clause together with its coverage
+    vector over {e all} positives, or [None] when no acceptable clause
+    exists. [max_clauses] guards against degenerate non-progress. *)
+let run ~target ~(learn_clause : bool array -> (Clause.t * bool array) option)
+    ?(max_clauses = 50) n_pos =
+  let uncovered = Array.make n_pos true in
+  let n_uncovered () = Array.fold_left (fun a b -> if b then a + 1 else a) 0 uncovered in
+  let clauses = ref [] in
+  let continue = ref true in
+  while !continue && n_uncovered () > 0 && List.length !clauses < max_clauses do
+    match learn_clause (Array.copy uncovered) with
+    | None -> continue := false
+    | Some (clause, pos_cov) ->
+        let progress = ref false in
+        Array.iteri
+          (fun i c ->
+            if c && uncovered.(i) then begin
+              uncovered.(i) <- false;
+              progress := true
+            end)
+          pos_cov;
+        if !progress then clauses := clause :: !clauses else continue := false
+  done;
+  {
+    definition = { Clause.target; clauses = List.rev !clauses };
+    uncovered_pos = n_uncovered ();
+  }

@@ -1,0 +1,99 @@
+(** Work-sharing across OCaml domains, used to parallelize coverage
+    tests (Section 7.5.3: "Castor divides E in subsets and performs
+    coverage testing for each subset in parallel").
+
+    Workers are long-lived domains fed from a shared task queue, so
+    the per-call overhead is a few condition-variable signals rather
+    than domain spawns. When the runtime reports a single hardware
+    thread, requests for parallelism fall back to sequential
+    evaluation — extra domains can only add overhead there (the
+    Figure 2 experiment records exactly this on single-core hosts). *)
+
+type task = unit -> unit
+
+let queue : task Queue.t = Queue.create ()
+
+let mutex = Mutex.create ()
+
+let nonempty = Condition.create ()
+
+let n_workers = ref 0
+
+let worker () =
+  while true do
+    Mutex.lock mutex;
+    while Queue.is_empty queue do
+      Condition.wait nonempty mutex
+    done;
+    let t = Queue.pop queue in
+    Mutex.unlock mutex;
+    (* a raising task must not kill the worker; the caller detects the
+       missing result *)
+    (try t () with _ -> ())
+  done
+
+(* Workers are daemons: they hold no resources that need cleanup, and
+   process exit tears them down. *)
+let ensure_workers n =
+  while !n_workers < n do
+    incr n_workers;
+    ignore (Domain.spawn worker)
+  done
+
+let submit t =
+  Mutex.lock mutex;
+  Queue.push t queue;
+  Condition.signal nonempty;
+  Mutex.unlock mutex
+
+(** Number of hardware threads reported by the runtime. *)
+let recommended_domains () = Domain.recommended_domain_count ()
+
+(** [init ~domains n f] is [Array.init n f] computed by up to
+    [domains] domains, worker [k] taking indices k, k+d, k+2d, ... —
+    strided, because expensive tests cluster (e.g. the failing
+    negatives of a coverage vector). [f] must be thread-safe (coverage
+    tests are pure). Falls back to sequential evaluation for tiny
+    arrays and on single-core hosts. *)
+let init ~domains n (f : int -> 'b) : 'b array =
+  let domains = min domains (recommended_domains ()) in
+  if domains <= 1 || n < 8 then Array.init n f
+  else begin
+    let d = min domains ((n + 7) / 8) in
+    ensure_workers (d - 1);
+    let results : 'b option array = Array.make n None in
+    let remaining = ref (d - 1) in
+    let done_m = Mutex.create () in
+    let done_cv = Condition.create () in
+    let compute k =
+      let i = ref k in
+      while !i < n do
+        results.(!i) <- Some (f !i);
+        i := !i + d
+      done
+    in
+    for k = 1 to d - 1 do
+      submit (fun () ->
+          (* decrement even if [f] raised, so the caller never hangs;
+             the missing result then fails loudly below *)
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock done_m;
+              decr remaining;
+              Condition.signal done_cv;
+              Mutex.unlock done_m)
+            (fun () -> compute k))
+    done;
+    compute 0;
+    Mutex.lock done_m;
+    while !remaining > 0 do
+      Condition.wait done_cv done_m
+    done;
+    Mutex.unlock done_m;
+    Array.map
+      (function Some v -> v | None -> assert false)
+      results
+  end
+
+(** [map ~domains f arr] maps in parallel. *)
+let map ~domains f arr = init ~domains (Array.length arr) (fun i -> f arr.(i))

@@ -1,0 +1,35 @@
+(** Clause scoring shared by the learners. *)
+
+type stats = { pos_covered : int; neg_covered : int }
+
+let stats ~pos_cov ~neg_cov =
+  { pos_covered = Coverage.count pos_cov; neg_covered = Coverage.count neg_cov }
+
+(** Coverage score [p − n] — the schema-agnostic evaluation function
+    the paper recommends for beam search (Section 6.4). *)
+let coverage s = s.pos_covered - s.neg_covered
+
+(** Compression score [p − n − length], Progol-style. *)
+let compression ~len s = s.pos_covered - s.neg_covered - len
+
+(** Training precision [p / (p + n)]; 0 on empty coverage. *)
+let precision s =
+  if s.pos_covered + s.neg_covered = 0 then 0.
+  else float_of_int s.pos_covered /. float_of_int (s.pos_covered + s.neg_covered)
+
+(** [acceptable ~min_precision ~minpos s] is the paper's minimum
+    condition on candidate clauses (minacc / minprec = 0.67, minpos =
+    2 in the experiments). *)
+let acceptable ~min_precision ~minpos s =
+  s.pos_covered >= minpos && precision s >= min_precision
+
+(** FOIL information gain of specializing a clause covering [p0]/[n0]
+    into one covering [p1]/[n1]. *)
+let foil_gain ~before ~after =
+  let info p n =
+    if p = 0 then 0.
+    else -.(log (float_of_int p /. float_of_int (p + n)) /. log 2.)
+  in
+  float_of_int after.pos_covered
+  *. (info before.pos_covered before.neg_covered
+     -. info after.pos_covered after.neg_covered)

@@ -1,0 +1,53 @@
+(** Global counters for the operations that dominate learning time
+    (Section 7.5: coverage tests "dominate the time for learning").
+    The benches report them; they are plain counters, reset between
+    measurements. Counter updates are not atomic — parallel coverage
+    tests may drop increments — so treat the numbers as measurements,
+    not ground truth. *)
+
+type t = {
+  mutable subsumption_tests : int;
+  mutable coverage_vectors : int;
+  mutable cache_hits : int;
+  mutable saturations : int;
+  mutable armg_calls : int;
+  mutable blocking_removals : int;
+}
+
+let current =
+  {
+    subsumption_tests = 0;
+    coverage_vectors = 0;
+    cache_hits = 0;
+    saturations = 0;
+    armg_calls = 0;
+    blocking_removals = 0;
+  }
+
+let reset () =
+  current.subsumption_tests <- 0;
+  current.coverage_vectors <- 0;
+  current.cache_hits <- 0;
+  current.saturations <- 0;
+  current.armg_calls <- 0;
+  current.blocking_removals <- 0
+
+(** [snapshot ()] copies the counters, so a caller can diff before and
+    after a run. *)
+let snapshot () = { current with subsumption_tests = current.subsumption_tests }
+
+let diff (after : t) (before : t) =
+  {
+    subsumption_tests = after.subsumption_tests - before.subsumption_tests;
+    coverage_vectors = after.coverage_vectors - before.coverage_vectors;
+    cache_hits = after.cache_hits - before.cache_hits;
+    saturations = after.saturations - before.saturations;
+    armg_calls = after.armg_calls - before.armg_calls;
+    blocking_removals = after.blocking_removals - before.blocking_removals;
+  }
+
+let pp ppf (s : t) =
+  Fmt.pf ppf
+    "subsumption tests %d, coverage vectors %d (cache hits %d), saturations %d, armg calls %d, blocking removals %d"
+    s.subsumption_tests s.coverage_vectors s.cache_hits s.saturations
+    s.armg_calls s.blocking_removals

@@ -1,0 +1,1 @@
+lib/learners/foil.ml: Array Atom Castor_ilp Castor_logic Castor_relational Clause Coverage Covering Examples Fmt Instance List Printf Problem Schema Scoring String Sys Term

@@ -1,0 +1,1 @@
+lib/learners/golem.ml: Array Castor_ilp Castor_logic Castor_relational Clause Coverage Covering Examples Lgg List Minimize Negreduce Problem Random Schema Scoring

@@ -1,0 +1,1 @@
+lib/learners/problem.ml: Atom Bottom Castor_ilp Castor_logic Castor_relational Clause Coverage Examples Instance List Printf Random Schema Term Value

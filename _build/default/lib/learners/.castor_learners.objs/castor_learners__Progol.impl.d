@@ -1,0 +1,1 @@
+lib/learners/progol.ml: Array Atom Bottom Castor_ilp Castor_logic Castor_relational Clause Coverage Covering Examples List Problem Schema Scoring Term

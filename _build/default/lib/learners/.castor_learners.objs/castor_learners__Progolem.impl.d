@@ -1,0 +1,1 @@
+lib/learners/progolem.ml: Armg Array Atom Bottom Castor_ilp Castor_logic Castor_relational Clause Coverage Covering Examples Fmt Fun List Negreduce Problem Random Schema Scoring Sys

@@ -1,0 +1,133 @@
+(** Golem (Muggleton & Feng 1990) — the rlgg-based bottom-up learner
+    of Section 6.3 (Algorithm 2).
+
+    LearnClause samples K positive examples, computes the rlgg of
+    every pair of their saturations, keeps the candidates meeting the
+    minimum condition, and then greedily folds further examples into
+    the best candidate while its score improves. Clause size is
+    bounded ([max_literals]) because iterated rlggs grow as O(m^n);
+    clauses are θ-reduced after every generalization, as real Golem
+    implementations must do to stay tractable. *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+
+type params = {
+  sample : int;  (** K, the pair-sampling budget *)
+  min_precision : float;
+  minpos : int;
+  max_clauses : int;
+  max_literals : int;
+  reduce_steps : int;  (** subsumption budget for θ-reduction *)
+}
+
+let default_params =
+  {
+    sample = 8;
+    min_precision = 0.67;
+    minpos = 2;
+    max_clauses = 30;
+    max_literals = 800;
+    reduce_steps = 30_000;
+  }
+
+let uncovered_indices uncovered =
+  let out = ref [] in
+  Array.iteri (fun i b -> if b then out := i :: !out) uncovered;
+  Array.of_list (List.rev !out)
+
+let sample_indices rng k (idxs : int array) =
+  let n = Array.length idxs in
+  if n <= k then Array.to_list idxs
+  else
+    List.init k (fun _ -> idxs.(Random.State.int rng n))
+    |> List.sort_uniq compare
+
+let score_of p clause =
+  let pv = Coverage.vector p.Problem.pos_cov clause in
+  let nv = Coverage.vector p.Problem.neg_cov clause in
+  let stats =
+    { Scoring.pos_covered = Coverage.count pv; neg_covered = Coverage.count nv }
+  in
+  (Scoring.coverage stats, stats, pv)
+
+let learn_clause (prm : params) (p : Problem.t) uncovered =
+  let idxs = uncovered_indices uncovered in
+  if Array.length idxs = 0 then None
+  else begin
+    let sample = sample_indices p.Problem.rng prm.sample idxs in
+    let sat i = p.Problem.pos_cov.Coverage.bottoms.(i) in
+    let generalize c1 c2 =
+      match Lgg.rlgg ~max_literals:prm.max_literals c1 c2 with
+      | None -> None
+      | Some g ->
+          let g = Minimize.reduce ~max_steps:prm.reduce_steps g in
+          let g = Negreduce.reduce p.Problem.neg_cov g in
+          if g.Clause.body = [] then None else Some g
+    in
+    (* candidate rlggs of sampled pairs *)
+    let candidates = ref [] in
+    let rec pairs = function
+      | [] -> ()
+      | i :: rest ->
+          List.iter
+            (fun j ->
+              match generalize (sat i) (sat j) with
+              | Some g ->
+                  let s, stats, pv = score_of p g in
+                  if
+                    Scoring.acceptable ~min_precision:prm.min_precision
+                      ~minpos:prm.minpos stats
+                  then candidates := (s, g, pv) :: !candidates
+              | None -> ())
+            rest;
+          pairs rest
+    in
+    pairs sample;
+    match List.sort (fun (a, _, _) (b, _, _) -> compare b a) !candidates with
+    | [] -> None
+    | (s0, c0, pv0) :: _ ->
+        (* greedy inclusion of further uncovered examples *)
+        let best = ref (s0, c0, pv0) in
+        let improved = ref true in
+        while !improved do
+          improved := false;
+          let _, c, pv = !best in
+          let remaining =
+            Array.to_list idxs |> List.filter (fun i -> not pv.(i))
+          in
+          let trial =
+            List.filter_map
+              (fun i ->
+                match generalize c (sat i) with
+                | Some g ->
+                    let s, stats, pv' = score_of p g in
+                    if
+                      Scoring.acceptable ~min_precision:prm.min_precision
+                        ~minpos:prm.minpos stats
+                    then Some (s, g, pv')
+                    else None
+                | None -> None)
+              (sample_indices p.Problem.rng prm.sample (Array.of_list remaining))
+          in
+          match List.sort (fun (a, _, _) (b, _, _) -> compare b a) trial with
+          | (s', g', pv') :: _ when s' > (let s, _, _ = !best in s) ->
+              best := (s', g', pv');
+              improved := true
+          | _ -> ()
+        done;
+        let _, clause, pv = !best in
+        Some (clause, pv)
+  end
+
+(** [learn ?params p] runs Golem's covering loop. *)
+let learn ?(params = default_params) (p : Problem.t) =
+  let outcome =
+    Covering.run
+      ~target:p.Problem.target.Schema.rname
+      ~learn_clause:(fun uncovered -> learn_clause params p uncovered)
+      ~max_clauses:params.max_clauses
+      (Examples.n_pos p.Problem.train)
+  in
+  outcome.Covering.definition

@@ -1,0 +1,54 @@
+(** A learning task handed to any of the learners: the background
+    database, the declared target relation (with typed attributes so
+    top-down learners can type their variables), training examples,
+    and precomputed coverage structures over the positives and
+    negatives. *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+
+type t = {
+  instance : Instance.t;
+  target : Schema.relation;
+      (** target relation declaration; not part of the schema *)
+  train : Examples.t;
+  pos_cov : Coverage.t;  (** coverage over [train.pos] *)
+  neg_cov : Coverage.t;  (** coverage over [train.neg] *)
+  const_pool : (string * Value.t list) list;
+      (** per-domain constants that top-down learners may place in
+          literals (e.g. phases, course levels, genres) *)
+  bottom_params : Bottom.params;
+      (** saturation parameters used for the coverage structures; the
+          bottom-clause-based learners inherit them so hypothesis and
+          coverage spaces agree *)
+  rng : Random.State.t;
+}
+
+(** [head p] is the most general head atom [T(X0, .., Xn-1)]. *)
+let head p =
+  Atom.make p.target.Schema.rname
+    (List.mapi (fun i _ -> Term.Var (Printf.sprintf "X%d" i)) p.target.Schema.attrs)
+
+(** Domains of the head variables, in order. *)
+let head_domains p = List.map (fun a -> a.Schema.domain) p.target.Schema.attrs
+
+(** [make ?bottom_params ?const_pool ?seed ?expand inst target train]
+    assembles a problem, precomputing the example saturations. The
+    optional [expand] hook threads Castor's IND chase into the
+    saturations used for coverage testing. *)
+let make ?(bottom_params = Bottom.default_params) ?(const_pool = []) ?(seed = 42)
+    ?expand ?(max_steps = 40_000) instance target (train : Examples.t) =
+  {
+    instance;
+    target;
+    train;
+    pos_cov = Coverage.build ?expand ~params:bottom_params ~max_steps instance train.Examples.pos;
+    neg_cov = Coverage.build ?expand ~params:bottom_params ~max_steps instance train.Examples.neg;
+    const_pool;
+    bottom_params;
+    rng = Random.State.make [| seed |];
+  }
+
+(** A learner maps a problem to a Horn definition of the target. *)
+type learner = t -> Clause.definition

@@ -1,0 +1,178 @@
+(** Progol-style learner (Muggleton 1995), emulating the paper's
+    Aleph runs (Section 9.1.2).
+
+    LearnClause saturates a seed positive example into a bottom clause
+    ⊥ (depth-bounded, Section 6.1) and searches top-down through the
+    clauses assembled from head-connected subsets of ⊥'s literals,
+    bounded by [clauselength]. The search keeps an open list of the
+    [openlist] best states by compression score; [openlist = 1] is
+    greedy hill climbing and emulates "Aleph-FOIL", while a wider list
+    emulates "Aleph-Progol" (the paper's default-Aleph runs). *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+
+type params = {
+  clauselength : int;
+  openlist : int;  (** beam width; 1 = greedy (Aleph-FOIL) *)
+  max_nodes : int;  (** explored-state budget per LearnClause *)
+  min_precision : float;
+  minpos : int;
+  max_clauses : int;
+  expansions_per_node : int;  (** cap on successors of one state *)
+}
+
+let default_params =
+  {
+    clauselength = 4;
+    openlist = 5;
+    max_nodes = 400;
+    min_precision = 0.67;
+    minpos = 2;
+    max_clauses = 30;
+    expansions_per_node = 60;
+  }
+
+(** Emulation presets mirroring the paper's configurations. *)
+let aleph_foil ~clauselength =
+  { default_params with clauselength; openlist = 1; max_nodes = 200 }
+
+let aleph_progol ~clauselength =
+  { default_params with clauselength; openlist = 5; max_nodes = 500 }
+
+type state = {
+  chosen : int list;  (** indexes into ⊥'s body, ascending *)
+  pos_vec : bool array;
+  neg_vec : bool array;
+  score : int;
+}
+
+let clause_of_state head bottom_body chosen =
+  Clause.make head (List.map (fun i -> bottom_body.(i)) chosen)
+
+(* literal i of ⊥ is addable when it shares a variable with the state's
+   variables (head vars count). *)
+let connected_vars head bottom_body chosen =
+  List.fold_left
+    (fun acc i -> Term.Set.union acc (Atom.var_set bottom_body.(i)))
+    (Atom.var_set head) chosen
+
+let rec learn_clause ?(seed_tries = 8) (prm : params) (p : Problem.t) uncovered =
+  (* seed: first uncovered positive example *)
+  let seed =
+    let n = Array.length uncovered in
+    let rec find i =
+      if i >= n then None else if uncovered.(i) then Some i else find (i + 1)
+    in
+    find 0
+  in
+  match seed with
+  | None -> None
+  | Some _ when seed_tries <= 0 -> None
+  | Some seed_idx ->
+      let e = p.Problem.pos_cov.Coverage.examples.(seed_idx) in
+      let bottom =
+        Bottom.bottom_clause ~params:p.Problem.bottom_params p.Problem.instance e
+      in
+      let head = bottom.Clause.head in
+      let body = Array.of_list bottom.Clause.body in
+      let n_lits = Array.length body in
+      let all_neg = Array.make (Coverage.length p.Problem.neg_cov) true in
+      let eval chosen parent =
+        let c = clause_of_state head body chosen in
+        let within_pos, within_neg =
+          match parent with
+          | Some st -> (st.pos_vec, st.neg_vec)
+          | None -> (uncovered, all_neg)
+        in
+        let pv = Coverage.vector ~within:within_pos p.Problem.pos_cov c in
+        let nv = Coverage.vector ~within:within_neg p.Problem.neg_cov c in
+        let s =
+          Scoring.compression ~len:(List.length chosen)
+            { Scoring.pos_covered = Coverage.count pv; neg_covered = Coverage.count nv }
+        in
+        { chosen; pos_vec = pv; neg_vec = nv; score = s }
+      in
+      let root = eval [] None in
+      let best = ref None in
+      let consider st =
+        let stats =
+          {
+            Scoring.pos_covered = Coverage.count st.pos_vec;
+            neg_covered = Coverage.count st.neg_vec;
+          }
+        in
+        if
+          st.chosen <> []
+          && Scoring.acceptable ~min_precision:prm.min_precision ~minpos:prm.minpos stats
+        then
+          match !best with
+          | Some b when b.score >= st.score -> ()
+          | _ -> best := Some st
+      in
+      let open_list = ref [ root ] in
+      let nodes = ref 0 in
+      while !open_list <> [] && !nodes < prm.max_nodes do
+        let frontier = !open_list in
+        open_list := [];
+        let successors = ref [] in
+        List.iter
+          (fun st ->
+            if !nodes < prm.max_nodes then begin
+              incr nodes;
+              if List.length st.chosen < prm.clauselength then begin
+                let vars = connected_vars head body st.chosen in
+                let added = ref 0 in
+                for i = 0 to n_lits - 1 do
+                  if
+                    !added < prm.expansions_per_node
+                    && (not (List.mem i st.chosen))
+                    && (not
+                          (Term.Set.is_empty
+                             (Term.Set.inter vars (Atom.var_set body.(i)))))
+                  then begin
+                    incr added;
+                    let chosen = List.sort compare (i :: st.chosen) in
+                    let child = eval chosen (Some st) in
+                    if Coverage.count child.pos_vec > 0 then begin
+                      consider child;
+                      successors := child :: !successors
+                    end
+                  end
+                done
+              end
+            end)
+          frontier;
+        let sorted =
+          List.sort (fun a b -> compare b.score a.score) !successors
+        in
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | x :: tl -> x :: take (k - 1) tl
+        in
+        open_list := take prm.openlist sorted
+      done;
+      (match !best with
+      | None ->
+          (* dead seed: retry from the next uncovered positive *)
+          let uncovered' = Array.copy uncovered in
+          uncovered'.(seed_idx) <- false;
+          learn_clause ~seed_tries:(seed_tries - 1) prm p uncovered'
+      | Some st ->
+          let clause = clause_of_state head body st.chosen in
+          let full_pos = Coverage.vector p.Problem.pos_cov clause in
+          Some (clause, full_pos))
+
+(** [learn ?params p] runs the covering loop with Progol-style clause
+    search. *)
+let learn ?(params = default_params) (p : Problem.t) =
+  let outcome =
+    Covering.run
+      ~target:p.Problem.target.Schema.rname
+      ~learn_clause:(fun uncovered -> learn_clause params p uncovered)
+      ~max_clauses:params.max_clauses
+      (Examples.n_pos p.Problem.train)
+  in
+  outcome.Covering.definition

@@ -1,0 +1,1 @@
+lib/logic/atom.ml: Array Castor_relational Fmt Hashtbl Int List Set String Term Tuple

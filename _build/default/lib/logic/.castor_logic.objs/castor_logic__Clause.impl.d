@@ -1,0 +1,1 @@
+lib/logic/clause.ml: Array Atom Castor_relational Fmt Fun Hashtbl List Printf Subst Term

@@ -1,0 +1,1 @@
+lib/logic/datalog.ml: Array Atom Castor_relational Clause Hashtbl Instance List Schema Subst Term Tuple

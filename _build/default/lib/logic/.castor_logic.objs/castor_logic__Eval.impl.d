@@ -1,0 +1,1 @@
+lib/logic/eval.ml: Array Atom Castor_relational Clause Instance List Subst Term Tuple Value

@@ -1,0 +1,1 @@
+lib/logic/lgg.ml: Array Atom Clause Hashtbl List Printf String Term

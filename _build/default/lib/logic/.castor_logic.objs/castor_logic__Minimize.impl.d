@@ -1,0 +1,1 @@
+lib/logic/minimize.ml: Array Atom Castor_relational Clause Hashtbl List Option String Subsume Term

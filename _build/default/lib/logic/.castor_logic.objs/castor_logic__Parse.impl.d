@@ -1,0 +1,1 @@
+lib/logic/parse.ml: Atom Castor_relational Clause Lexer List String Term Value

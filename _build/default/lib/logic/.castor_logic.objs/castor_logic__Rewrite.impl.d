@@ -1,0 +1,1 @@
+lib/logic/rewrite.ml: Array Atom Castor_relational Clause List Printf Schema String Term Transform

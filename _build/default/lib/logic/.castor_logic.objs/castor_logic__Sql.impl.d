@@ -1,0 +1,1 @@
+lib/logic/sql.ml: Array Atom Castor_relational Clause Hashtbl List Printf Schema String Term Value

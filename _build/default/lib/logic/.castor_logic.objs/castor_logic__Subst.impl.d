@@ -1,0 +1,1 @@
+lib/logic/subst.ml: Array Atom Castor_relational List Map String Term

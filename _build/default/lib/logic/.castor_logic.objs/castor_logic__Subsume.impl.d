@@ -1,0 +1,1 @@
+lib/logic/subsume.ml: Array Atom Clause Hashtbl List Option Subst Term

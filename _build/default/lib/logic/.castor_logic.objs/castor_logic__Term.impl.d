@@ -1,0 +1,1 @@
+lib/logic/term.ml: Castor_relational Fmt Map Set String Value

@@ -1,0 +1,72 @@
+(** Atoms [R(u1, ..., un)]. A ground atom has only constant
+    arguments; ground atoms double as training examples. *)
+
+open Castor_relational
+
+type t = { rel : string; args : Term.t array }
+
+let make rel args = { rel; args = Array.of_list args }
+
+let of_tuple rel (tuple : Tuple.t) =
+  { rel; args = Array.map (fun v -> Term.Const v) tuple }
+
+let arity a = Array.length a.args
+
+let is_ground a = Array.for_all Term.is_const a.args
+
+(** [to_tuple a] extracts the constants of a ground atom.
+    @raise Invalid_argument on a non-ground atom. *)
+let to_tuple a : Tuple.t =
+  Array.map
+    (function Term.Const v -> v | Term.Var _ -> invalid_arg "Atom.to_tuple")
+    a.args
+
+let equal a b =
+  String.equal a.rel b.rel
+  && Array.length a.args = Array.length b.args
+  && (let rec go i =
+        i >= Array.length a.args || (Term.equal a.args.(i) b.args.(i) && go (i + 1))
+      in
+      go 0)
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c
+  else
+    let c = Int.compare (Array.length a.args) (Array.length b.args) in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i >= Array.length a.args then 0
+        else
+          let c = Term.compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let hash a = Hashtbl.hash (a.rel, Array.map Term.to_string a.args)
+
+(** Variables occurring in the atom, left to right, with duplicates. *)
+let vars a =
+  Array.fold_right
+    (fun t acc -> match t with Term.Var v -> v :: acc | Term.Const _ -> acc)
+    a.args []
+
+let var_set a = List.fold_left (fun s v -> Term.Set.add (Term.Var v) s) Term.Set.empty (vars a)
+
+(** Constants occurring in the atom, left to right. *)
+let constants a =
+  Array.fold_right
+    (fun t acc -> match t with Term.Const c -> c :: acc | Term.Var _ -> acc)
+    a.args []
+
+let pp ppf a =
+  Fmt.pf ppf "%s(%a)" a.rel Fmt.(array ~sep:(any ",") Term.pp) a.args
+
+let to_string a = Fmt.str "%a" pp a
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

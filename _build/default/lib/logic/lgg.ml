@@ -1,0 +1,75 @@
+(** Least general generalization (Plotkin), the generalization
+    operator of Golem (Section 6.3).
+
+    [lgg] of two terms is the term itself when they are equal, and
+    otherwise a variable chosen consistently per distinct pair of
+    terms; [lgg] of two clauses is the clause formed by the pairwise
+    lggs of all compatible literals (same relation symbol and arity),
+    sharing one pair-to-variable table across the whole clause. *)
+
+type table = (string, Term.t) Hashtbl.t
+(* keyed by the printed pair, which is unambiguous because constants
+   and variables print distinctly in our term language *)
+
+let fresh_counter = ref 0
+
+let lgg_term (table : table) t1 t2 =
+  if Term.equal t1 t2 then t1
+  else
+    let key = Term.to_string t1 ^ "|" ^ Term.to_string t2 in
+    match Hashtbl.find_opt table key with
+    | Some v -> v
+    | None ->
+        let v = Term.Var (Printf.sprintf "G%d" !fresh_counter) in
+        incr fresh_counter;
+        Hashtbl.add table key v;
+        v
+
+let lgg_atom (table : table) (a : Atom.t) (b : Atom.t) =
+  if (not (String.equal a.Atom.rel b.Atom.rel)) || Atom.arity a <> Atom.arity b
+  then None
+  else
+    Some
+      {
+        a with
+        Atom.args = Array.init (Atom.arity a) (fun i -> lgg_term table a.Atom.args.(i) b.Atom.args.(i));
+      }
+
+(** [clauses ?max_literals c1 c2] computes [lgg(C1, C2)].
+
+    The result size is bounded by [|C1|·|C2|]; [max_literals] truncates
+    the body (keeping literal pairs in order) to keep Golem tractable,
+    mirroring the size caps real implementations use (Section 6.3
+    discusses the exponential growth of repeated rlggs). Returns [None]
+    when the heads are incompatible. *)
+let clauses ?(max_literals = 1200) (c1 : Clause.t) (c2 : Clause.t) =
+  (* keep variable spaces disjoint so accidental sharing does not
+     over-specialize the result *)
+  let c1 = Clause.rename_apart "_a" c1 and c2 = Clause.rename_apart "_b" c2 in
+  let table : table = Hashtbl.create 64 in
+  match lgg_atom table c1.Clause.head c2.Clause.head with
+  | None -> None
+  | Some head ->
+      let body = ref [] in
+      let count = ref 0 in
+      (try
+         List.iter
+           (fun a ->
+             List.iter
+               (fun b ->
+                 match lgg_atom table a b with
+                 | Some l ->
+                     body := l :: !body;
+                     incr count;
+                     if !count >= max_literals then raise Exit
+                 | None -> ())
+               c2.Clause.body)
+           c1.Clause.body
+       with Exit -> ());
+      let c = Clause.make head (List.rev !body) in
+      Some (Clause.dedup_body (Clause.head_connected c))
+
+(** Relative least general generalization of two saturations (ground
+    bottom clauses): their lgg, since the background knowledge is
+    already folded into the saturations (Section 6.3). *)
+let rlgg ?max_literals sat1 sat2 = clauses ?max_literals sat1 sat2

@@ -1,0 +1,90 @@
+(** Parsing Datalog clauses and definitions from text, using the
+    Prolog convention: identifiers starting with an uppercase letter
+    (or '_') are variables, everything else — including integers — is
+    a constant.
+
+    {v
+    grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+    hivActive(C) :- compound(C, A), element_N(A).
+    v} *)
+
+open Castor_relational
+open Lexer
+
+let is_variable s = String.length s > 0 && ((s.[0] >= 'A' && s.[0] <= 'Z') || s.[0] = '_')
+
+let parse_term c =
+  match next c with
+  | Int n -> Term.Const (Value.int n)
+  | Ident s -> if is_variable s then Term.Var s else Term.Const (Value.str s)
+  | t -> error "expected a term, found %a" pp_token t
+
+let parse_atom c =
+  let rel = ident c in
+  expect c Lparen;
+  let rec args acc =
+    let t = parse_term c in
+    match next c with
+    | Comma -> args (t :: acc)
+    | Rparen -> List.rev (t :: acc)
+    | tok -> error "expected ',' or ')' in atom, found %a" pp_token tok
+  in
+  Atom.make rel (args [])
+
+let parse_clause_body c =
+  let rec go acc =
+    let a = parse_atom c in
+    match next c with
+    | Comma -> go (a :: acc)
+    | Dot -> List.rev (a :: acc)
+    | tok -> error "expected ',' or '.' in clause body, found %a" pp_token tok
+  in
+  go []
+
+let parse_clause_at c =
+  let head = parse_atom c in
+  match next c with
+  | Dot -> Clause.make head []
+  | Turnstile -> Clause.make head (parse_clause_body c)
+  | tok -> error "expected '.' or ':-' after clause head, found %a" pp_token tok
+
+(** [clause text] parses one clause.
+    @raise Lexer.Error on malformed input. *)
+let clause text =
+  let c = cursor (tokenize text) in
+  let cl = parse_clause_at c in
+  expect c Eof;
+  cl
+
+(** [definition ?target text] parses a sequence of clauses. All heads
+    must share one relation symbol (checked against [target] when
+    given). *)
+let definition ?target text =
+  let c = cursor (tokenize text) in
+  let rec go acc =
+    match peek c with
+    | Eof -> List.rev acc
+    | _ -> go (parse_clause_at c :: acc)
+  in
+  let clauses = go [] in
+  let name =
+    match target, clauses with
+    | Some t, _ -> t
+    | None, cl :: _ -> cl.Clause.head.Atom.rel
+    | None, [] -> error "empty definition and no target name given"
+  in
+  List.iter
+    (fun (cl : Clause.t) ->
+      if not (String.equal cl.Clause.head.Atom.rel name) then
+        error "clause head %s does not match target %s" cl.Clause.head.Atom.rel name)
+    clauses;
+  { Clause.target = name; clauses }
+
+(** [atom text] parses one ground or non-ground atom (no trailing dot
+    required). *)
+let atom text =
+  let c = cursor (tokenize text) in
+  let a = parse_atom c in
+  (match peek c with Dot -> advance c | _ -> ());
+  expect c Eof;
+  a

@@ -1,0 +1,85 @@
+(** The definition mapping δτ of Proposition 3.7: rewriting Horn
+    clauses across composition / decomposition transformations so that
+    the rewritten clause returns the same result over [τ(I)] as the
+    original does over [I].
+
+    Both directions are literal-local unfoldings of the (inverse)
+    transformation's Horn definitions:
+
+    - decomposition of [R] into parts [P1..Pn]: a literal [R(ū)] is
+      replaced by the conjunction [P1(ū|P1), ..., Pn(ū|Pn)] — the
+      body of τ⁻¹'s definition of [R];
+    - composition of parts [P1..Pn] into [R]: a literal [Pi(ū)] is
+      replaced by [R(ū′)] where [ū′] extends [ū] with fresh
+      existential variables at the attributes [Pi] does not carry.
+      On instances in the image of the transformation this is exact,
+      because the INDs with equality guarantee every part tuple
+      extends to a joined tuple (Definition 4.1). *)
+
+open Castor_relational
+
+let fresh_counter = ref 0
+
+let fresh_var () =
+  let v = Printf.sprintf "F%d" !fresh_counter in
+  incr fresh_counter;
+  Term.Var v
+
+(* positions of [attrs] within [sort] *)
+let positions_in sort attrs =
+  List.map
+    (fun a ->
+      let rec go i = function
+        | [] -> raise Not_found
+        | x :: _ when String.equal x a -> i
+        | _ :: tl -> go (i + 1) tl
+      in
+      go 0 sort)
+    attrs
+
+let rewrite_literal_decompose schema rel parts (a : Atom.t) =
+  if not (String.equal a.Atom.rel rel) then [ a ]
+  else
+    let sort = Schema.sort schema rel in
+    List.map
+      (fun (pname, pattrs) ->
+        let ps = positions_in sort pattrs in
+        Atom.make pname (List.map (fun p -> a.Atom.args.(p)) ps))
+      parts
+
+let rewrite_literal_compose schema parts into composed_sort (a : Atom.t) =
+  if not (List.mem a.Atom.rel parts) then [ a ]
+  else
+    let part_sort = Schema.sort schema a.Atom.rel in
+    let arg_of attr =
+      match positions_in part_sort [ attr ] with
+      | [ p ] -> a.Atom.args.(p)
+      | _ -> fresh_var ()
+      | exception Not_found -> fresh_var ()
+    in
+    [ Atom.make into (List.map arg_of composed_sort) ]
+
+(** [clause schema ops c] rewrites clause [c], defined over [schema],
+    through the transformation [ops]. The head (a target relation not
+    in the schema) is left untouched. *)
+let clause (schema : Schema.t) (ops : Transform.t) (c : Clause.t) =
+  let step (schema, c) op =
+    let schema' = Transform.apply_schema schema [ op ] in
+    let body =
+      match op with
+      | Transform.Decompose { rel; parts } ->
+          List.concat_map (rewrite_literal_decompose schema rel parts) c.Clause.body
+      | Transform.Compose { parts; into } ->
+          let composed_sort = Schema.sort schema' into in
+          List.concat_map
+            (rewrite_literal_compose schema parts into composed_sort)
+            c.Clause.body
+    in
+    (schema', Clause.dedup_body { c with Clause.body })
+  in
+  let _, c' = List.fold_left step (schema, c) ops in
+  c'
+
+(** [definition schema ops d] maps every clause of [d]. *)
+let definition schema ops (d : Clause.definition) =
+  { d with Clause.clauses = List.map (clause schema ops) d.Clause.clauses }

@@ -1,0 +1,83 @@
+(** Translating learned Horn definitions to SQL.
+
+    The paper's Castor runs on top of an RDBMS (Section 7.5.1); a
+    learned definition is ultimately a database query. This module
+    renders a safe Horn clause as a [SELECT DISTINCT ... FROM ... JOIN]
+    statement over the schema's relations — shared variables become
+    equality predicates, constants become literals — and a definition
+    as a [UNION] of its clauses. Useful for deploying learned
+    definitions as views.
+
+    @raise Invalid_argument on unsafe clauses (their SQL would need
+    the unbound head column to range over the whole domain). *)
+
+open Castor_relational
+
+let quote_value = function
+  | Value.Int n -> string_of_int n
+  | Value.Str s -> "'" ^ s ^ "'"
+
+(* each body literal becomes a FROM entry with an alias t0, t1, ... *)
+let clause_to_sql (schema : Schema.t) (cl : Clause.t) =
+  if not (Clause.is_safe cl) then
+    invalid_arg "Sql.clause_to_sql: unsafe clause";
+  let aliases = List.mapi (fun i (a : Atom.t) -> (Printf.sprintf "t%d" i, a)) cl.Clause.body in
+  (* first column where each variable is bound *)
+  let binding = Hashtbl.create 16 in
+  let conditions = ref [] in
+  List.iter
+    (fun (alias, (a : Atom.t)) ->
+      let sort = Schema.sort schema a.Atom.rel in
+      List.iteri
+        (fun i col ->
+          let expr = alias ^ "." ^ col in
+          match a.Atom.args.(i) with
+          | Term.Const v -> conditions := (expr ^ " = " ^ quote_value v) :: !conditions
+          | Term.Var x -> (
+              match Hashtbl.find_opt binding x with
+              | None -> Hashtbl.add binding x expr
+              | Some expr0 -> conditions := (expr ^ " = " ^ expr0) :: !conditions))
+        sort)
+    aliases;
+  let select =
+    Atom.vars cl.Clause.head
+    |> List.map (fun x ->
+           match Hashtbl.find_opt binding x with
+           | Some expr -> expr ^ " AS " ^ String.lowercase_ascii x
+           | None -> assert false (* safe clause: every head var is bound *))
+    |> String.concat ", "
+  in
+  let select =
+    (* constant head arguments are selected as literals *)
+    let consts =
+      Array.to_list cl.Clause.head.Atom.args
+      |> List.filter_map (function
+           | Term.Const v -> Some (quote_value v)
+           | Term.Var _ -> None)
+    in
+    String.concat ", " (List.filter (fun s -> s <> "") (select :: consts))
+  in
+  let from =
+    aliases
+    |> List.map (fun (alias, (a : Atom.t)) -> a.Atom.rel ^ " AS " ^ alias)
+    |> String.concat ", "
+  in
+  let where =
+    match List.rev !conditions with
+    | [] -> ""
+    | cs -> "\nWHERE " ^ String.concat "\n  AND " cs
+  in
+  Printf.sprintf "SELECT DISTINCT %s\nFROM %s%s" select from where
+
+(** [definition_to_sql schema def] — the [UNION] of the clauses'
+    queries. *)
+let definition_to_sql schema (def : Clause.definition) =
+  match def.Clause.clauses with
+  | [] -> invalid_arg "Sql.definition_to_sql: empty definition"
+  | clauses -> String.concat "\nUNION\n" (List.map (clause_to_sql schema) clauses)
+
+(** [create_view schema def] — a [CREATE VIEW] statement named after
+    the target relation. *)
+let create_view schema (def : Clause.definition) =
+  Printf.sprintf "CREATE VIEW %s AS\n%s;" def.Clause.target
+    (definition_to_sql schema def)

@@ -1,0 +1,58 @@
+(** Substitutions: finite maps from variable names to terms. *)
+
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty : t = M.empty
+
+let find v (s : t) = M.find_opt v s
+
+let bind v term (s : t) : t = M.add v term s
+
+let mem v (s : t) = M.mem v s
+
+let of_list l : t = List.fold_left (fun s (v, t) -> bind v t s) empty l
+
+let to_list (s : t) = M.bindings s
+
+(** [apply_term s t] replaces a bound variable by its image; unbound
+    variables and constants are unchanged. *)
+let apply_term (s : t) = function
+  | Term.Const _ as c -> c
+  | Term.Var v as t -> ( match find v s with Some t' -> t' | None -> t)
+
+let apply_atom (s : t) (a : Atom.t) =
+  { a with Atom.args = Array.map (apply_term s) a.Atom.args }
+
+(** [match_term s pat target] extends [s] so that [pat] maps to
+    [target]; [target]'s variables are treated as frozen (skolem)
+    constants, which is the matching used by θ-subsumption. *)
+let match_term (s : t) pat target =
+  match pat with
+  | Term.Const c -> (
+      match target with
+      | Term.Const c' when Castor_relational.Value.equal c c' -> Some s
+      | _ -> None)
+  | Term.Var v -> (
+      match find v s with
+      | Some bound -> if Term.equal bound target then Some s else None
+      | None -> Some (bind v target s))
+
+(** [match_atom s pat target] matches argument-wise; relations and
+    arities must agree. *)
+let match_atom (s : t) (pat : Atom.t) (target : Atom.t) =
+  if
+    (not (String.equal pat.Atom.rel target.Atom.rel))
+    || Array.length pat.Atom.args <> Array.length target.Atom.args
+  then None
+  else
+    let n = Array.length pat.Atom.args in
+    let rec go s i =
+      if i >= n then Some s
+      else
+        match match_term s pat.Atom.args.(i) target.Atom.args.(i) with
+        | Some s' -> go s' (i + 1)
+        | None -> None
+    in
+    go s 0

@@ -1,0 +1,382 @@
+(** θ-subsumption engine (the role Resumer2 plays in the paper's
+    implementation, Section 7.5.3).
+
+    Clause [C] θ-subsumes clause [D] iff there is a substitution θ with
+    [Cθ ⊆ D] (literal-set inclusion) and the heads unified by θ. [D]'s
+    variables are treated as frozen constants, so the same engine
+    answers both coverage tests (where [D] is a ground bottom clause)
+    and clause-reduction tests (where [D] shares variables with [C]).
+
+    The engine follows the constraint-satisfaction view of subsumption
+    (Maloberti & Sebag's Django; Kuželka & Železný's Resumer):
+
+    - pattern variables are compiled to dense integers and bindings
+      live in a mutable array with an undo trail, so the search
+      allocates almost nothing — coverage testing dominates learning
+      time (Section 7.5.3) and runs in parallel domains, where
+      allocation pressure serializes on the collector;
+    - per-literal candidate sets are pruned by arc-consistency over
+      variable domains before searching, which refutes most
+      non-subsumptions in polynomial time;
+    - the surviving candidates are searched by backtracking in a
+      static most-bound-first literal order with forward checking of
+      variable-sharing neighbors.
+
+    A step budget bounds pathological instances; exceeding it
+    conservatively reports non-subsumption. *)
+
+type groups = (string, Atom.t array) Hashtbl.t
+
+let group_body (body : Atom.t list) : groups =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Atom.t) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl a.Atom.rel) in
+      Hashtbl.replace tbl a.Atom.rel (a :: cur))
+    body;
+  let out = Hashtbl.create 16 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace out k (Array.of_list v)) tbl;
+  out
+
+exception Budget_exhausted
+
+exception Refuted
+
+(* ---------------------------------------------------------------- *)
+(* Compiled representation                                           *)
+(* ---------------------------------------------------------------- *)
+
+(* pattern argument: a constant to match exactly, or a variable slot *)
+type parg = Pconst of Term.t | Pvar of int
+
+type plit = {
+  prel : string;
+  pargs : parg array;
+  mutable cands : Atom.t array;  (** AC-filtered candidate literals *)
+  vset : int list;  (** variable slots occurring in the literal *)
+}
+
+(* dummy literal used only for array initialization *)
+let dummy_plit = { prel = ""; pargs = [||]; cands = [||]; vset = [] }
+
+let compile_pattern (lits : Atom.t list) (groups : groups) =
+  let var_ids = Hashtbl.create 16 in
+  let n_vars = ref 0 in
+  let id_of v =
+    match Hashtbl.find_opt var_ids v with
+    | Some i -> i
+    | None ->
+        let i = !n_vars in
+        incr n_vars;
+        Hashtbl.add var_ids v i;
+        i
+  in
+  let plits =
+    List.map
+      (fun (a : Atom.t) ->
+        let pargs =
+          Array.map
+            (function
+              | Term.Const _ as c -> Pconst c
+              | Term.Var v -> Pvar (id_of v))
+            a.Atom.args
+        in
+        let vset =
+          Array.to_list pargs
+          |> List.filter_map (function Pvar i -> Some i | Pconst _ -> None)
+          |> List.sort_uniq compare
+        in
+        let cands =
+          match Hashtbl.find_opt groups a.Atom.rel with
+          | Some arr -> arr
+          | None -> raise Refuted
+        in
+        { prel = a.Atom.rel; pargs; cands; vset })
+      lits
+  in
+  (plits, var_ids, !n_vars)
+
+(* ---------------------------------------------------------------- *)
+(* Matching against the binding array                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* try to match [pl] against candidate [cand]; newly bound slots are
+   pushed on [trail]; on failure the caller must rewind *)
+let match_cand (bindings : Term.t option array) trail (pl : plit) (cand : Atom.t) =
+  let n = Array.length pl.pargs in
+  let rec go i =
+    if i >= n then true
+    else
+      let target = cand.Atom.args.(i) in
+      match pl.pargs.(i) with
+      | Pconst c -> Term.equal c target && go (i + 1)
+      | Pvar v -> (
+          match bindings.(v) with
+          | Some t -> Term.equal t target && go (i + 1)
+          | None ->
+              bindings.(v) <- Some target;
+              trail := v :: !trail;
+              go (i + 1))
+  in
+  go 0
+
+let rewind (bindings : Term.t option array) trail mark =
+  while !trail != mark do
+    match !trail with
+    | v :: rest ->
+        bindings.(v) <- None;
+        trail := rest
+    | [] -> assert false
+  done
+
+(* a literal still has at least one candidate under current bindings *)
+let alive bindings (pl : plit) =
+  let m = Array.length pl.cands in
+  let scratch = ref [] in
+  let rec probe k =
+    if k >= m then false
+    else begin
+      let mark = !scratch in
+      let ok = match_cand bindings scratch pl pl.cands.(k) in
+      rewind bindings scratch mark;
+      ok || probe (k + 1)
+    end
+  in
+  probe 0
+
+(* ---------------------------------------------------------------- *)
+(* Arc-consistency pruning                                            *)
+(* ---------------------------------------------------------------- *)
+
+let arc_consistent (bindings : Term.t option array) (plits : plit list) =
+  let domains : Term.Set.t option array = Array.make (Array.length bindings) None in
+  Array.iteri
+    (fun i b ->
+      match b with
+      | Some t -> domains.(i) <- Some (Term.Set.singleton t)
+      | None -> ())
+    bindings;
+  let compatible (pl : plit) (cand : Atom.t) =
+    let n = Array.length pl.pargs in
+    let rec go i =
+      i >= n
+      || ((match pl.pargs.(i) with
+          | Pconst c -> Term.equal c cand.Atom.args.(i)
+          | Pvar v -> (
+              match domains.(v) with
+              | None -> true
+              | Some d -> Term.Set.mem cand.Atom.args.(i) d))
+         && go (i + 1))
+    in
+    go 0
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun pl ->
+        let filtered = Array.of_list (List.filter (compatible pl) (Array.to_list pl.cands)) in
+        if Array.length filtered <> Array.length pl.cands then begin
+          pl.cands <- filtered;
+          changed := true
+        end;
+        if Array.length filtered = 0 then raise Refuted;
+        (* rebuild the domains of the literal's variables *)
+        Array.iteri
+          (fun i arg ->
+            match arg with
+            | Pconst _ -> ()
+            | Pvar v ->
+                let support =
+                  Array.fold_left
+                    (fun acc (cand : Atom.t) -> Term.Set.add cand.Atom.args.(i) acc)
+                    Term.Set.empty filtered
+                in
+                let next =
+                  match domains.(v) with
+                  | None -> support
+                  | Some d -> Term.Set.inter d support
+                in
+                if Term.Set.is_empty next then raise Refuted;
+                (match domains.(v) with
+                | Some d when Term.Set.equal d next -> ()
+                | _ ->
+                    domains.(v) <- Some next;
+                    changed := true))
+          pl.pargs)
+      plits
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Search                                                             *)
+(* ---------------------------------------------------------------- *)
+
+(* static order: most already-bound variables first, then smallest
+   candidate set *)
+let order_literals (bindings : Term.t option array) (plits : plit list) =
+  let arr = Array.of_list plits in
+  let n = Array.length arr in
+  let placed = Array.make n false in
+  let bound = Array.map Option.is_some bindings in
+  let out = Array.make n dummy_plit in
+  for slot = 0 to n - 1 do
+    let best = ref (-1) in
+    let best_key = ref (-1, max_int) in
+    for i = 0 to n - 1 do
+      if not placed.(i) then begin
+        let bound_vars = List.length (List.filter (fun v -> bound.(v)) arr.(i).vset) in
+        let key = (bound_vars, Array.length arr.(i).cands) in
+        let better =
+          let bv, gs = !best_key in
+          fst key > bv || (fst key = bv && snd key < gs)
+        in
+        if !best < 0 || better then begin
+          best := i;
+          best_key := key
+        end
+      end
+    done;
+    placed.(!best) <- true;
+    List.iter (fun v -> bound.(v) <- true) arr.(!best).vset;
+    out.(slot) <- arr.(!best)
+  done;
+  out
+
+let search ~max_steps bindings (ordered : plit array) =
+  let n = Array.length ordered in
+  (* forward-checking neighbors: later literals sharing a variable *)
+  let later_neighbors =
+    Array.init n (fun i ->
+        let vs = ordered.(i).vset in
+        let out = ref [] in
+        for j = n - 1 downto i + 1 do
+          if List.exists (fun v -> List.mem v ordered.(j).vset) vs then
+            out := ordered.(j) :: !out
+        done;
+        Array.of_list !out)
+  in
+  let steps = ref 0 in
+  let trail = ref [] in
+  let rec go i =
+    if i >= n then true
+    else begin
+      incr steps;
+      if !steps > max_steps then raise Budget_exhausted;
+      let pl = ordered.(i) in
+      let m = Array.length pl.cands in
+      let rec try_cand j =
+        if j >= m then false
+        else begin
+          let mark = !trail in
+          if
+            match_cand bindings trail pl pl.cands.(j)
+            && Array.for_all (alive bindings) later_neighbors.(i)
+            && go (i + 1)
+          then true
+          else begin
+            rewind bindings trail mark;
+            try_cand (j + 1)
+          end
+        end
+      in
+      try_cand 0
+    end
+  in
+  if go 0 then Some bindings else None
+
+(* ---------------------------------------------------------------- *)
+(* Public interface                                                   *)
+(* ---------------------------------------------------------------- *)
+
+(** [subsuming_subst ?max_steps c d] returns a witness θ with
+    [Cθ ⊆ D], or [None]. Heads must match. *)
+let subsuming_subst ?(max_steps = 60_000) (c : Clause.t) (d : Clause.t) =
+  match Subst.match_atom Subst.empty c.Clause.head d.Clause.head with
+  | None -> None
+  | Some s0 -> (
+      if c.Clause.body = [] then Some s0
+      else
+        let groups = group_body d.Clause.body in
+        match compile_pattern c.Clause.body groups with
+        | exception Refuted -> None
+        | plits, var_ids, n_vars -> (
+            let bindings = Array.make n_vars None in
+            (* seed with the head unifier *)
+            let ok =
+              List.for_all
+                (fun (v, t) ->
+                  match Hashtbl.find_opt var_ids v with
+                  | None -> true (* head-only variable *)
+                  | Some i -> (
+                      match bindings.(i) with
+                      | None ->
+                          bindings.(i) <- Some t;
+                          true
+                      | Some t' -> Term.equal t t'))
+                (Subst.to_list s0)
+            in
+            if not ok then None
+            else
+              match arc_consistent bindings plits with
+              | exception Refuted -> None
+              | () -> (
+                  let ordered = order_literals bindings plits in
+                  match
+                    try search ~max_steps bindings ordered
+                    with Budget_exhausted -> None
+                  with
+                  | None -> None
+                  | Some bindings ->
+                      (* assemble the witness substitution *)
+                      let s = ref s0 in
+                      Hashtbl.iter
+                        (fun v i ->
+                          match bindings.(i) with
+                          | Some t -> s := Subst.bind v t !s
+                          | None -> ())
+                        var_ids;
+                      Some !s)))
+
+(** [subsumes c d] decides [C θ-subsumes D]. *)
+let subsumes ?max_steps c d = Option.is_some (subsuming_subst ?max_steps c d)
+
+(** Reference implementation without pruning or ordering, used to
+    cross-check the optimized engine in tests. *)
+let subsumes_naive ?(max_steps = 2_000_000) (c : Clause.t) (d : Clause.t) =
+  match Subst.match_atom Subst.empty c.Clause.head d.Clause.head with
+  | None -> false
+  | Some s0 ->
+      let darr = Array.of_list d.Clause.body in
+      let steps = ref 0 in
+      let rec go s = function
+        | [] -> true
+        | lit :: rest ->
+            incr steps;
+            if !steps > max_steps then raise Budget_exhausted;
+            let n = Array.length darr in
+            let rec try_cand i =
+              if i >= n then false
+              else
+                match Subst.match_atom s lit darr.(i) with
+                | Some s' -> go s' rest || try_cand (i + 1)
+                | None -> try_cand (i + 1)
+            in
+            try_cand 0
+      in
+      (try go s0 c.Clause.body with Budget_exhausted -> false)
+
+(** θ-equivalence of clauses: mutual subsumption. *)
+let equivalent ?max_steps c1 c2 =
+  subsumes ?max_steps c1 c2 && subsumes ?max_steps c2 c1
+
+(** [definition_subsumes d1 d2] holds when every clause of [d2] is
+    subsumed by some clause of [d1] — i.e. [d1] is at least as general,
+    clause-wise. *)
+let definition_subsumes ?max_steps (d1 : Clause.definition) (d2 : Clause.definition) =
+  List.for_all
+    (fun c2 -> List.exists (fun c1 -> subsumes ?max_steps c1 c2) d1.Clause.clauses)
+    d2.Clause.clauses
+
+(** Clause-wise θ-equivalence of definitions. *)
+let definition_equivalent ?max_steps d1 d2 =
+  definition_subsumes ?max_steps d1 d2 && definition_subsumes ?max_steps d2 d1

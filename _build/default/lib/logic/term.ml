@@ -1,0 +1,39 @@
+(** First-order terms: variables or constants (no function symbols, as
+    in the paper's function-free Horn language). *)
+
+open Castor_relational
+
+type t =
+  | Var of string
+  | Const of Value.t
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Value.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let is_const = function Const _ -> true | Var _ -> false
+
+let to_string = function
+  | Var v -> v
+  | Const c -> Value.to_string c
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

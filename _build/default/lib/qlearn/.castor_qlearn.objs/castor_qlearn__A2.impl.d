@@ -1,0 +1,1 @@
+lib/qlearn/a2.ml: Array Castor_logic Clause Lgg List Minimize Oracle Subsume

@@ -1,0 +1,1 @@
+lib/qlearn/bounds.ml: Castor_relational Float Fmt List Schema

@@ -1,0 +1,1 @@
+lib/qlearn/gen.ml: Array Atom Castor_logic Castor_relational Clause Fun List Printf Random Schema String Term

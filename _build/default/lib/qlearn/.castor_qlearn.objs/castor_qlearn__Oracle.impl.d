@@ -1,0 +1,1 @@
+lib/qlearn/oracle.ml: Array Atom Castor_logic Castor_relational Clause Hashtbl List Printf Subsume Term Value

@@ -1,0 +1,61 @@
+(** The asymptotic query-complexity bounds of Theorem 8.1.
+
+    Khardon's A2 asks at most [O(m² p k^(a+3k) + n m p k^(a+k))]
+    equivalence plus membership queries and at least [Ω(m p k^a)]
+    (the VC dimension of the hypothesis language), where
+
+    - [p] — number of relation symbols in the schema,
+    - [a] — largest relation arity,
+    - [k] — largest number of variables in a clause,
+    - [m] — number of clauses in the target definition,
+    - [n] — largest number of constants in a counterexample.
+
+    Theorem 8.1 exhibits a decomposition under which the lower bound
+    over one schema exceeds the upper bound over the other — the
+    theoretical counterpart of the Figure 3 measurements. The numbers
+    here are the raw bound expressions (in log-space to keep them
+    finite), for printing next to the measured query counts. *)
+
+open Castor_relational
+
+type schema_params = { p : int; a : int }
+
+(** [of_schema s] extracts [p] and [a]. *)
+let of_schema (s : Schema.t) =
+  {
+    p = List.length s.Schema.relations;
+    a =
+      List.fold_left
+        (fun m (r : Schema.relation) -> max m (List.length r.Schema.attrs))
+        1 s.Schema.relations;
+  }
+
+let log_f x = log (float_of_int (max 1 x))
+
+(** [log_lower ~m ~k sp] = log Ω(m p k^a). *)
+let log_lower ~m ~k sp =
+  log_f m +. log_f sp.p +. (float_of_int sp.a *. log_f k)
+
+(** [log_upper ~m ~k ~n sp] = log O(m² p k^(a+3k) + n m p k^(a+k)),
+    computed as a log-sum-exp of the two terms. *)
+let log_upper ~m ~k ~n sp =
+  let t1 =
+    (2. *. log_f m) +. log_f sp.p +. (float_of_int (sp.a + (3 * k)) *. log_f k)
+  in
+  let t2 =
+    log_f n +. log_f m +. log_f sp.p +. (float_of_int (sp.a + k) *. log_f k)
+  in
+  let hi = Float.max t1 t2 and lo = Float.min t1 t2 in
+  hi +. log1p (exp (lo -. hi))
+
+(** [crossover ~m ~k ~n r s] — Theorem 8.1's separation test: does the
+    lower bound under schema [r] exceed the upper bound under [s]?
+    (Requires sufficiently large [k] and [a]; see the proof.) *)
+let crossover ~m ~k ~n (r : Schema.t) (s : Schema.t) =
+  log_lower ~m ~k (of_schema r) > log_upper ~m ~k ~n (of_schema s)
+
+(** A report line for the Figure 3 output. *)
+let report ~m ~k ~n (name : string) (s : Schema.t) =
+  let sp = of_schema s in
+  Fmt.str "%-10s p=%2d a=%d  log Ω=%6.1f  log O=%6.1f" name sp.p sp.a
+    (log_lower ~m ~k sp) (log_upper ~m ~k ~n sp)

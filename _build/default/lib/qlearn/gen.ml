@@ -1,0 +1,96 @@
+(** Random Horn-definition generator for the query-complexity
+    experiment (Section 9.4).
+
+    Following the paper: each definition has a fresh head relation of
+    random arity; every clause's body is built from randomly chosen
+    schema relations populated with variables (each position picks a
+    new variable until the clause reaches its variable budget, or an
+    already-used one); every head variable must occur in the body; no
+    constants or function symbols. Definitions generated over one
+    schema are mapped to the others with the definition mapping δτ. *)
+
+open Castor_relational
+open Castor_logic
+
+let var i = Term.Var (Printf.sprintf "v%d" i)
+
+(** [random_definition ~rng ~schema ~target_name ~n_clauses ~n_vars ()]
+    draws a definition with [n_clauses] clauses of [n_vars] distinct
+    variables each. *)
+let random_definition ~rng ~(schema : Schema.t) ~target_name ~n_clauses ~n_vars () =
+  let rels = Array.of_list schema.Schema.relations in
+  let max_arity =
+    Array.fold_left
+      (fun m (r : Schema.relation) -> max m (List.length r.Schema.attrs))
+      1 rels
+  in
+  let clause ci =
+    ignore ci;
+    let head_arity = 1 + Random.State.int rng (min max_arity n_vars) in
+    let head = Atom.make target_name (List.init head_arity var) in
+    (* grow body until every variable up to n_vars has been used and
+       all head variables occur in the body *)
+    let used = Array.make n_vars false in
+    let next_new = ref 0 in
+    let pick_var () =
+      (* introduce a new variable while the budget allows, otherwise
+         reuse uniformly *)
+      if !next_new < n_vars && (Random.State.bool rng || !next_new < head_arity)
+      then begin
+        let i = !next_new in
+        incr next_new;
+        used.(i) <- true;
+        var i
+      end
+      else begin
+        let i = Random.State.int rng (max 1 !next_new) in
+        used.(i) <- true;
+        var i
+      end
+    in
+    let body = ref [] in
+    let head_covered () =
+      let covered = Array.make head_arity false in
+      List.iter
+        (fun (a : Atom.t) ->
+          List.iter
+            (fun v ->
+              for i = 0 to head_arity - 1 do
+                if String.equal v (Printf.sprintf "v%d" i) then covered.(i) <- true
+              done)
+            (Atom.vars a))
+        !body;
+      Array.for_all Fun.id covered
+    in
+    let guard = ref 0 in
+    while
+      (!next_new < n_vars || not (head_covered ())) && !guard < 100
+    do
+      incr guard;
+      let r = rels.(Random.State.int rng (Array.length rels)) in
+      let arity = List.length r.Schema.attrs in
+      let lit = Atom.make r.Schema.rname (List.init arity (fun _ -> pick_var ())) in
+      body := !body @ [ lit ]
+    done;
+    (* force any still-uncovered head variable into the body *)
+    if not (head_covered ()) then begin
+      let r = rels.(0) in
+      let arity = List.length r.Schema.attrs in
+      for i = 0 to head_arity - 1 do
+        let in_body =
+          List.exists
+            (fun (a : Atom.t) -> List.mem (Printf.sprintf "v%d" i) (Atom.vars a))
+            !body
+        in
+        if not in_body then
+          body :=
+            !body
+            @ [
+                Atom.make r.Schema.rname
+                  (List.init arity (fun j -> if j = 0 then var i else pick_var ()));
+              ]
+      done
+    end;
+    Clause.make head !body
+  in
+  { Clause.target = target_name; clauses = List.init n_clauses clause }

@@ -1,0 +1,85 @@
+(** The oracle of query-based learning (Section 8), in the "automatic
+    user" mode of LogAn-H used by the paper's Figure 3 experiment: the
+    oracle knows the hidden target Horn definition and answers
+
+    - {b membership queries} (MQ): is this ground clause's head
+      entailed by the target given its body? — decided by
+      θ-subsumption of some target clause into the queried clause;
+    - {b equivalence queries} (EQ): is this hypothesis equivalent to
+      the target? — decided clause-wise by mutual θ-subsumption;
+      when not, a counterexample is returned: a grounding (by fresh
+      skolem constants) of a target clause the hypothesis misses, or
+      of a hypothesis clause the target does not entail.
+
+    Both query counters are exposed; they are the measurements of the
+    query-complexity experiment. *)
+
+open Castor_relational
+open Castor_logic
+
+type t = {
+  target : Clause.definition;
+  mutable eqs : int;
+  mutable mqs : int;
+  mutable skolem : int;
+}
+
+let make target = { target; eqs = 0; mqs = 0; skolem = 0 }
+
+let counts t = (t.eqs, t.mqs)
+
+(** [ground t c] replaces each variable of [c] by a fresh skolem
+    constant. *)
+let ground t (c : Clause.t) =
+  let table = Hashtbl.create 16 in
+  let conv (a : Atom.t) =
+    {
+      a with
+      Atom.args =
+        Array.map
+          (function
+            | Term.Const _ as k -> k
+            | Term.Var v -> (
+                match Hashtbl.find_opt table v with
+                | Some k -> k
+                | None ->
+                    t.skolem <- t.skolem + 1;
+                    let k = Term.Const (Value.str (Printf.sprintf "sk%d" t.skolem)) in
+                    Hashtbl.add table v k;
+                    k))
+          a.Atom.args;
+    }
+  in
+  { Clause.head = conv c.Clause.head; body = List.map conv c.Clause.body }
+
+(** [membership t gc] — one MQ. [gc] is a (usually ground) clause; the
+    answer is whether the target entails its head from its body. *)
+let membership t (gc : Clause.t) =
+  t.mqs <- t.mqs + 1;
+  List.exists (fun c -> Subsume.subsumes c gc) t.target.Clause.clauses
+
+type eq_answer =
+  | Correct
+  | Positive_counterexample of Clause.t  (** ground; target-entailed, hypothesis-missed *)
+  | Negative_counterexample of Clause.t  (** ground; hypothesis-entailed, target-missed *)
+
+(** [equivalence t h] — one EQ. *)
+let equivalence t (h : Clause.definition) =
+  t.eqs <- t.eqs + 1;
+  let missed_target =
+    List.find_opt
+      (fun c -> not (List.exists (fun hc -> Subsume.subsumes hc c) h.Clause.clauses))
+      t.target.Clause.clauses
+  in
+  match missed_target with
+  | Some c -> Positive_counterexample (ground t c)
+  | None -> (
+      let extra =
+        List.find_opt
+          (fun hc ->
+            not (List.exists (fun c -> Subsume.subsumes c hc) t.target.Clause.clauses))
+          h.Clause.clauses
+      in
+      match extra with
+      | Some hc -> Negative_counterexample (ground t hc)
+      | None -> Correct)

@@ -1,0 +1,1 @@
+lib/relational/discovery.ml: Fmt Hashtbl Instance List Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/hypergraph.ml: Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/relational/inclusion.ml: Hashtbl Hypergraph List Option Schema String

@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Array Fmt Hashtbl List Option Schema String Tuple Value

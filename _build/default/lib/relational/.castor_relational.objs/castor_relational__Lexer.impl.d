@@ -1,0 +1,1 @@
+lib/relational/lexer.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/relational/normalize.ml: Hashtbl Hypergraph Inclusion List Printf Schema Set String Transform

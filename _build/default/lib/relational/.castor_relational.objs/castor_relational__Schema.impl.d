@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/relational/text.ml: Fmt Instance Lexer List Schema Value

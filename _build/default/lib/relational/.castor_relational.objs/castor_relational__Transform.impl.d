@@ -1,0 +1,1 @@
+lib/relational/transform.ml: Algebra Fmt Hypergraph Instance List Option Schema String

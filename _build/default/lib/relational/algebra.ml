@@ -1,0 +1,125 @@
+(** Relational algebra over {!Instance}: projection and natural join.
+
+    These are the two operators that define the paper's decomposition
+    (projection) and composition (natural join) Horn transformations
+    (Section 4). *)
+
+(** [project inst rel attrs] computes [π_attrs(inst.rel)] as a
+    duplicate-free tuple list in the order of [attrs]. *)
+let project inst rel attrs =
+  let r = Schema.find_relation (Instance.schema inst) rel in
+  let pos = Schema.positions r attrs in
+  let seen = ref Tuple.Set.empty in
+  List.rev
+    (List.fold_left
+       (fun acc tu ->
+         let p = Tuple.project pos tu in
+         if Tuple.Set.mem p !seen then acc
+         else begin
+           seen := Tuple.Set.add p !seen;
+           p :: acc
+         end)
+       [] (Instance.tuples inst rel))
+
+(** A named intermediate relation: attribute list plus tuples. Natural
+    join is defined over these so multi-way joins can be folded. *)
+type table = { tattrs : Schema.attribute list; trows : Tuple.t list }
+
+let table_of_relation inst rel =
+  let r = Schema.find_relation (Instance.schema inst) rel in
+  { tattrs = r.Schema.attrs; trows = Instance.tuples inst rel }
+
+(** [natural_join a b] joins on all shared attribute names. The result
+    keeps [a]'s attributes followed by [b]'s non-shared attributes.
+    Raises [Invalid_argument] when the relations share no attribute
+    (the paper restricts natural join to avoid Cartesian products). *)
+let natural_join a b =
+  let shared =
+    List.filter
+      (fun (x : Schema.attribute) ->
+        List.exists (fun (y : Schema.attribute) -> String.equal x.aname y.aname) b.tattrs)
+      a.tattrs
+  in
+  if shared = [] then invalid_arg "natural_join: no shared attributes";
+  let pos_in attrs name =
+    let rec go i = function
+      | [] -> raise Not_found
+      | (x : Schema.attribute) :: _ when String.equal x.aname name -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 attrs
+  in
+  let a_pos = List.map (fun (x : Schema.attribute) -> pos_in a.tattrs x.aname) shared in
+  let b_pos = List.map (fun (x : Schema.attribute) -> pos_in b.tattrs x.aname) shared in
+  let b_extra =
+    List.filter
+      (fun (x : Schema.attribute) ->
+        not (List.exists (fun (y : Schema.attribute) -> String.equal x.aname y.aname) shared))
+      b.tattrs
+  in
+  let b_extra_pos = List.map (fun (x : Schema.attribute) -> pos_in b.tattrs x.aname) b_extra in
+  (* hash join keyed on the shared projection of b *)
+  let tbl = Hashtbl.create (List.length b.trows) in
+  List.iter
+    (fun tu ->
+      let key = Tuple.project b_pos tu in
+      let h = Tuple.hash key in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt tbl h) in
+      Hashtbl.replace tbl h ((key, tu) :: existing))
+    b.trows;
+  let rows =
+    List.concat_map
+      (fun ta ->
+        let key = Tuple.project a_pos ta in
+        match Hashtbl.find_opt tbl (Tuple.hash key) with
+        | None -> []
+        | Some candidates ->
+            List.filter_map
+              (fun (k, tb) ->
+                if Tuple.equal k key then
+                  Some
+                    (Array.append ta
+                       (Array.of_list (List.map (fun p -> tb.(p)) b_extra_pos)))
+                else None)
+              candidates)
+      a.trows
+  in
+  (* dedup *)
+  let seen = ref Tuple.Set.empty in
+  let rows =
+    List.filter
+      (fun r ->
+        if Tuple.Set.mem r !seen then false
+        else begin
+          seen := Tuple.Set.add r !seen;
+          true
+        end)
+      rows
+  in
+  { tattrs = a.tattrs @ b_extra; trows = rows }
+
+(** [natural_join_all tables] folds {!natural_join} left to right. *)
+let natural_join_all = function
+  | [] -> invalid_arg "natural_join_all: empty"
+  | t :: ts -> List.fold_left natural_join t ts
+
+(** [select tbl pred] keeps the rows satisfying [pred]. *)
+let select tbl pred = { tbl with trows = List.filter pred tbl.trows }
+
+(** [reorder tbl attrs] permutes the columns of [tbl] to follow
+    [attrs] (which must be a permutation of a subset of its columns,
+    duplicates removed). *)
+let reorder tbl attrs =
+  let pos name =
+    let rec go i = function
+      | [] -> raise Not_found
+      | (x : Schema.attribute) :: _ when String.equal x.Schema.aname name -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 tbl.tattrs
+  in
+  let ps = List.map pos attrs in
+  {
+    tattrs = List.map (fun p -> List.nth tbl.tattrs p) ps;
+    trows = List.map (fun r -> Tuple.project ps r) tbl.trows;
+  }

@@ -1,0 +1,137 @@
+(** Dependency discovery from database instances.
+
+    The paper's HIV dataset "is stored in flat files and does not have
+    any information about its constraints. We explored the database
+    for possible dependencies" (Section 9.1.1) — this module is that
+    exploration: it proposes the functional and inclusion dependencies
+    that hold in a given instance, so Castor can be applied to
+    constraint-less data dumps.
+
+    Discovered dependencies are necessarily {e candidates}: they hold
+    in the instance at hand and must be vetted against domain
+    knowledge before being trusted as schema constraints (a spurious
+    IND with equality would make Castor chase unrelated tuples). *)
+
+(* distinct projection of a relation on one attribute *)
+let unary_projection inst rel aname =
+  Value.Set.of_list (Instance.column_values inst rel aname)
+
+(** [unary_inds ?same_domain_only inst] discovers all unary INDs
+    [R\[a\] ⊆ S\[b\]] (and upgrades symmetric pairs to INDs with
+    equality). With [same_domain_only] (default), only attribute pairs
+    with the same declared domain are compared — cross-domain
+    containments (e.g. two unrelated integer columns) are almost
+    always coincidences. Trivial self-INDs are omitted. *)
+let unary_inds ?(same_domain_only = true) inst =
+  let schema = Instance.schema inst in
+  let columns =
+    List.concat_map
+      (fun (r : Schema.relation) ->
+        List.map
+          (fun (a : Schema.attribute) ->
+            (r.Schema.rname, a.Schema.aname, a.Schema.domain))
+          r.Schema.attrs)
+      schema.Schema.relations
+  in
+  let projections =
+    List.map
+      (fun (rel, aname, dom) -> ((rel, aname, dom), unary_projection inst rel aname))
+      columns
+  in
+  let subset_of =
+    List.concat_map
+      (fun ((r1, a1, d1), p1) ->
+        List.filter_map
+          (fun ((r2, a2, d2), p2) ->
+            if String.equal r1 r2 && String.equal a1 a2 then None
+            else if same_domain_only && not (String.equal d1 d2) then None
+            else if Value.Set.is_empty p1 then None
+            else if Value.Set.subset p1 p2 then Some ((r1, a1), (r2, a2))
+            else None)
+          projections)
+      projections
+  in
+  (* upgrade symmetric pairs to INDs with equality, keep one direction *)
+  let has_reverse (s, t) = List.exists (fun (s', t') -> s' = t && t' = s) subset_of in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (((r1, a1), (r2, a2)) as ind) ->
+      let key_fwd = (r1, a1, r2, a2) and key_bwd = (r2, a2, r1, a1) in
+      if Hashtbl.mem seen key_fwd || Hashtbl.mem seen key_bwd then None
+      else begin
+        Hashtbl.replace seen key_fwd ();
+        if has_reverse ind then
+          Some (Schema.ind_with_equality r1 [ a1 ] r2 [ a2 ])
+        else Some (Schema.ind_subset r1 [ a1 ] r2 [ a2 ])
+      end)
+    subset_of
+
+(* all non-empty subsets of [l] with size <= k, smallest first *)
+let rec subsets_up_to k l =
+  if k <= 0 then [ [] ]
+  else
+    match l with
+    | [] -> [ [] ]
+    | x :: rest ->
+        let without = subsets_up_to k rest in
+        let with_x = List.map (fun s -> x :: s) (subsets_up_to (k - 1) rest) in
+        without @ with_x
+
+(** [fds ?max_lhs inst rel] discovers the minimal functional
+    dependencies [X -> a] holding in [inst.rel] with [|X| ≤ max_lhs]
+    (default 2) — a bounded-levelwise search in the style of TANE.
+    Only FDs not implied by a discovered FD with a smaller LHS are
+    reported. *)
+let fds ?(max_lhs = 2) inst rel =
+  let r = Schema.find_relation (Instance.schema inst) rel in
+  let attrs = List.map (fun (a : Schema.attribute) -> a.Schema.aname) r.Schema.attrs in
+  let tuples = Instance.tuples inst rel in
+  let holds lhs rhs =
+    if List.mem rhs lhs then false
+    else
+      let pos_l = Schema.positions r lhs and pos_r = Schema.positions r [ rhs ] in
+      let table = Hashtbl.create 64 in
+      List.for_all
+        (fun tu ->
+          let key = Fmt.str "%a" Tuple.pp (Tuple.project pos_l tu) in
+          let v = Fmt.str "%a" Tuple.pp (Tuple.project pos_r tu) in
+          match Hashtbl.find_opt table key with
+          | Some v' -> String.equal v v'
+          | None ->
+              Hashtbl.add table key v;
+              true)
+        tuples
+  in
+  let candidates =
+    List.filter (fun s -> s <> [] && List.length s <= max_lhs) (subsets_up_to max_lhs attrs)
+  in
+  let found = ref [] in
+  let implied lhs rhs =
+    List.exists
+      (fun (fd : Schema.fd) ->
+        fd.Schema.fd_rhs = [ rhs ]
+        && List.for_all (fun a -> List.mem a lhs) fd.Schema.fd_lhs)
+      !found
+  in
+  List.iter
+    (fun lhs ->
+      List.iter
+        (fun rhs ->
+          if (not (implied lhs rhs)) && holds lhs rhs then
+            found :=
+              !found @ [ { Schema.fd_rel = rel; fd_lhs = lhs; fd_rhs = [ rhs ] } ])
+        attrs)
+    (List.sort (fun a b -> compare (List.length a) (List.length b)) candidates);
+  !found
+
+(** [annotate inst] returns the instance's schema enriched with every
+    discovered unary IND and bounded FD. *)
+let annotate ?(max_lhs = 2) inst =
+  let schema = Instance.schema inst in
+  let inds = unary_inds inst in
+  let fds_all =
+    List.concat_map
+      (fun (r : Schema.relation) -> fds ~max_lhs inst r.Schema.rname)
+      schema.Schema.relations
+  in
+  { schema with Schema.inds = schema.Schema.inds @ inds; fds = schema.Schema.fds @ fds_all }

@@ -1,0 +1,59 @@
+(** Join-acyclicity of a set of relation sorts, via GYO reduction.
+
+    The paper only considers decompositions whose reconstruction join
+    is acyclic (Section 4); Proposition 7.4 then guarantees the derived
+    INDs with equality are non-cyclic, which is what makes Castor's
+    IND chase terminate without scanning. *)
+
+module SS = Set.Make (String)
+
+(** [is_acyclic sorts] decides whether the natural join of relations
+    with the given attribute sets is acyclic, using the
+    Graham–Yu–Ozsoyoglu ear-removal procedure: repeatedly delete
+    (1) attributes occurring in a single hyperedge and (2) hyperedges
+    contained in another hyperedge; the join is acyclic iff the
+    hypergraph reduces to nothing (or a single edge). *)
+let is_acyclic (sorts : string list list) =
+  let edges = ref (List.map SS.of_list sorts) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* count attribute occurrences *)
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        SS.iter
+          (fun a ->
+            Hashtbl.replace counts a
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts a)))
+          e)
+      !edges;
+    (* rule 1: drop attributes unique to one edge *)
+    let edges' =
+      List.map
+        (fun e -> SS.filter (fun a -> Hashtbl.find counts a > 1) e)
+        !edges
+    in
+    if edges' <> !edges then begin
+      edges := edges';
+      changed := true
+    end;
+    (* rule 2: drop empty edges and edges contained in another edge *)
+    let rec drop_contained acc = function
+      | [] -> List.rev acc
+      | e :: rest ->
+          let contained =
+            SS.is_empty e
+            || List.exists (fun f -> SS.subset e f) rest
+            || List.exists (fun f -> SS.subset e f) acc
+          in
+          if contained then drop_contained acc rest
+          else drop_contained (e :: acc) rest
+    in
+    let edges'' = drop_contained [] !edges in
+    if List.length edges'' <> List.length !edges then begin
+      edges := edges'';
+      changed := true
+    end
+  done;
+  List.length !edges <= 1

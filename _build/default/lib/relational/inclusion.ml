@@ -1,0 +1,130 @@
+(** Inclusion classes (Definition 7.1) and the IND chase metadata used
+    by Castor's bottom-clause construction.
+
+    An inclusion class is a maximal set of relation symbols connected
+    by INDs with equality over their shared attributes. During
+    bottom-clause construction, whenever Castor adds a tuple of a
+    relation in a class, it follows every IND of the class to pull in
+    the tuples that join with it (Section 7.1). In "general IND" mode
+    (Section 7.4) subset INDs are followed too. *)
+
+type link = {
+  src : string;  (** relation the chase starts from *)
+  dst : string;  (** relation whose matching tuples are fetched *)
+  src_attrs : string list;
+  dst_attrs : string list;
+  equality : bool;
+  required : bool;
+      (** whether a [src] literal must have a matching [dst] partner in
+          a clause: true for INDs with equality (both directions) and
+          for the sub ⊆ sup direction of subset INDs; false for the
+          sup → sub direction of subset INDs (Section 7.4) *)
+}
+
+type t = {
+  schema : Schema.t;
+  links_by_rel : (string, link list) Hashtbl.t;
+  classes : string list list;  (** connected components, each sorted *)
+}
+
+(** IND usage policy: [`Equality_only] is Castor's default (bijective
+    decomposition / composition); [`Subset_too] is the Section 7.4
+    extension used in the Table 12 experiment. *)
+type mode = [ `Equality_only | `Subset_too ]
+
+let links_of_ind mode (ind : Schema.ind) =
+  let fwd =
+    {
+      src = ind.sup_rel;
+      dst = ind.sub_rel;
+      src_attrs = ind.sup_attrs;
+      dst_attrs = ind.sub_attrs;
+      equality = ind.equality;
+      required = ind.equality;
+    }
+  and bwd =
+    {
+      src = ind.sub_rel;
+      dst = ind.sup_rel;
+      src_attrs = ind.sub_attrs;
+      dst_attrs = ind.sup_attrs;
+      equality = ind.equality;
+      required = true;
+    }
+  in
+  match mode, ind.equality with
+  | `Equality_only, false -> []
+  | `Equality_only, true -> [ fwd; bwd ]
+  | `Subset_too, _ ->
+      (* A subset IND sub ⊆ sup is chased in both directions: from a
+         sup tuple we look for matching sub tuples (there may be none)
+         and from a sub tuple the matching sup tuples must exist. *)
+      [ fwd; bwd ]
+
+(** [build ?mode schema] precomputes chase links and connected
+    components. *)
+let build ?(mode : mode = `Equality_only) (schema : Schema.t) =
+  let links_by_rel = Hashtbl.create 16 in
+  let add (l : link) =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt links_by_rel l.src) in
+    (* avoid exact duplicates from symmetric IND declarations *)
+    if
+      not
+        (List.exists
+           (fun m ->
+             String.equal m.dst l.dst && m.src_attrs = l.src_attrs
+             && m.dst_attrs = l.dst_attrs)
+           cur)
+    then Hashtbl.replace links_by_rel l.src (cur @ [ l ])
+  in
+  List.iter (fun ind -> List.iter add (links_of_ind mode ind)) schema.Schema.inds;
+  (* connected components over the link graph *)
+  let names = List.map (fun (r : Schema.relation) -> r.Schema.rname) schema.Schema.relations in
+  let visited = Hashtbl.create 16 in
+  let component seed =
+    let acc = ref [] in
+    let rec dfs n =
+      if not (Hashtbl.mem visited n) then begin
+        Hashtbl.replace visited n ();
+        acc := n :: !acc;
+        List.iter (fun l -> dfs l.dst)
+          (Option.value ~default:[] (Hashtbl.find_opt links_by_rel n))
+      end
+    in
+    dfs seed;
+    List.sort String.compare !acc
+  in
+  let classes =
+    List.filter_map
+      (fun n ->
+        if Hashtbl.mem visited n then None
+        else
+          let c = component n in
+          if List.length c > 1 then Some c else None)
+      names
+  in
+  { schema; links_by_rel; classes }
+
+(** [links t rel] returns the chase links starting at [rel]. *)
+let links t rel = Option.value ~default:[] (Hashtbl.find_opt t.links_by_rel rel)
+
+(** [class_of t rel] returns the inclusion class containing [rel], or
+    [None] when [rel] participates in no IND. *)
+let class_of t rel = List.find_opt (fun c -> List.mem rel c) t.classes
+
+let classes t = t.classes
+
+(** [non_cyclic t] checks Proposition 7.4's precondition on every
+    class: the sorts of the member relations form an acyclic join, so
+    the IND chase needs no global consistency scan. *)
+let non_cyclic t =
+  List.for_all
+    (fun cls -> Hypergraph.is_acyclic (List.map (Schema.sort t.schema) cls))
+    t.classes
+
+(** Positions of a link's attributes in its source and destination
+    relations, precomputed for the chase. *)
+let link_positions t (l : link) =
+  let src_rel = Schema.find_relation t.schema l.src in
+  let dst_rel = Schema.find_relation t.schema l.dst in
+  (Schema.positions src_rel l.src_attrs, Schema.positions dst_rel l.dst_attrs)

@@ -1,0 +1,201 @@
+(** In-memory database instances with hash indexes.
+
+    This plays the role of the paper's main-memory RDBMS (VoltDB in the
+    authors' implementation, Section 7.5.1): tuples are stored
+    per-relation and indexed by [(relation, column, constant)] so that
+    bottom-clause construction can find all tuples containing a given
+    constant with one lookup per column. *)
+
+type t = {
+  schema : Schema.t;
+  store : (string, Tuple.t list ref) Hashtbl.t;  (** tuples in insertion order, newest first *)
+  index : (string * int * Value.t, Tuple.t list ref) Hashtbl.t;
+}
+
+let create schema =
+  let store = Hashtbl.create 64 in
+  List.iter (fun (r : Schema.relation) -> Hashtbl.replace store r.rname (ref []))
+    schema.Schema.relations;
+  { schema; store; index = Hashtbl.create 4096 }
+
+let schema t = t.schema
+
+let relation_names t =
+  List.map (fun (r : Schema.relation) -> r.Schema.rname) t.schema.Schema.relations
+
+exception Arity_mismatch of string
+
+let bucket t rel =
+  match Hashtbl.find_opt t.store rel with
+  | Some b -> b
+  | None -> raise (Schema.Unknown_relation rel)
+
+(** [mem t rel tuple] tests tuple presence (set semantics). *)
+let mem t rel (tuple : Tuple.t) =
+  List.exists (Tuple.equal tuple) !(bucket t rel)
+
+(** [add t rel tuple] inserts a tuple; duplicates are ignored so
+    relations behave as sets.
+    @raise Arity_mismatch if the tuple does not fit the sort. *)
+let add t rel (tuple : Tuple.t) =
+  if Tuple.arity tuple <> Schema.arity t.schema rel then
+    raise (Arity_mismatch rel);
+  if not (mem t rel tuple) then begin
+    let b = bucket t rel in
+    b := tuple :: !b;
+    Array.iteri
+      (fun i v ->
+        let key = (rel, i, v) in
+        match Hashtbl.find_opt t.index key with
+        | Some l -> l := tuple :: !l
+        | None -> Hashtbl.add t.index key (ref [ tuple ]))
+      tuple
+  end
+
+let add_list t rel vs = add t rel (Tuple.of_list vs)
+
+(** [tuples t rel] returns all tuples of [rel]. *)
+let tuples t rel = !(bucket t rel)
+
+let cardinality t rel = List.length (tuples t rel)
+
+(** Total number of tuples across all relations. *)
+let size t =
+  Hashtbl.fold (fun _ b acc -> acc + List.length !b) t.store 0
+
+(** [find t rel pos v] returns the tuples of [rel] whose column [pos]
+    holds constant [v] (indexed lookup). *)
+let find t rel pos v =
+  match Hashtbl.find_opt t.index (rel, pos, v) with
+  | Some l -> !l
+  | None -> []
+
+(** [find_matching t rel bindings] returns tuples agreeing with every
+    [(position, value)] binding; uses the index on the first binding. *)
+let find_matching t rel = function
+  | [] -> tuples t rel
+  | (p0, v0) :: rest ->
+      List.filter
+        (fun tu -> List.for_all (fun (p, v) -> Value.equal tu.(p) v) rest)
+        (find t rel p0 v0)
+
+(** [tuples_containing t rel v] returns all tuples of [rel] in which
+    constant [v] occurs at any position. *)
+let tuples_containing t rel v =
+  let ar = Schema.arity t.schema rel in
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  for pos = 0 to ar - 1 do
+    List.iter
+      (fun tu ->
+        let h = Tuple.hash tu in
+        let dup =
+          match Hashtbl.find_opt seen h with
+          | Some l -> List.exists (Tuple.equal tu) l
+          | None -> false
+        in
+        if not dup then begin
+          Hashtbl.replace seen h
+            (tu :: (Option.value ~default:[] (Hashtbl.find_opt seen h)));
+          out := tu :: !out
+        end)
+      (find t rel pos v)
+  done;
+  !out
+
+(** Distinct values stored under attribute [aname] of [rel]. *)
+let column_values t rel aname =
+  let r = Schema.find_relation t.schema rel in
+  match Schema.positions r [ aname ] with
+  | [ pos ] ->
+      List.fold_left
+        (fun acc tu -> Value.Set.add tu.(pos) acc)
+        Value.Set.empty (tuples t rel)
+      |> Value.Set.elements
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Constraint checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** [satisfies_fd t fd] checks an FD by hashing LHS projections. *)
+let satisfies_fd t (fd : Schema.fd) =
+  let r = Schema.find_relation t.schema fd.fd_rel in
+  let lhs = Schema.positions r fd.fd_lhs and rhs = Schema.positions r fd.fd_rhs in
+  let table = Hashtbl.create 64 in
+  List.for_all
+    (fun tu ->
+      let key = Tuple.project lhs tu and v = Tuple.project rhs tu in
+      match Hashtbl.find_opt table (Tuple.hash key) with
+      | Some pairs -> (
+          match List.find_opt (fun (k, _) -> Tuple.equal k key) pairs with
+          | Some (_, v') -> Tuple.equal v v'
+          | None ->
+              Hashtbl.replace table (Tuple.hash key) ((key, v) :: pairs);
+              true)
+      | None ->
+          Hashtbl.add table (Tuple.hash key) [ (key, v) ];
+          true)
+    (tuples t fd.fd_rel)
+
+let projection_set t rel attrs =
+  let r = Schema.find_relation t.schema rel in
+  let pos = Schema.positions r attrs in
+  List.fold_left
+    (fun acc tu -> Tuple.Set.add (Tuple.project pos tu) acc)
+    Tuple.Set.empty (tuples t rel)
+
+(** [satisfies_ind t ind] checks the inclusion (and the reverse
+    inclusion when [ind.equality] holds). *)
+let satisfies_ind t (ind : Schema.ind) =
+  let sub = projection_set t ind.sub_rel ind.sub_attrs in
+  let sup = projection_set t ind.sup_rel ind.sup_attrs in
+  Tuple.Set.subset sub sup && ((not ind.equality) || Tuple.Set.subset sup sub)
+
+(** [violations t] lists human-readable descriptions of violated
+    constraints; empty means [t] is a legal instance of its schema. *)
+let violations t =
+  let fd_bad =
+    List.filter_map
+      (fun fd ->
+        if satisfies_fd t fd then None
+        else
+          Some
+            (Fmt.str "FD %s: %a -> %a violated" fd.Schema.fd_rel
+               Fmt.(list ~sep:comma string)
+               fd.Schema.fd_lhs
+               Fmt.(list ~sep:comma string)
+               fd.Schema.fd_rhs))
+      t.schema.Schema.fds
+  in
+  let ind_bad =
+    List.filter_map
+      (fun ind ->
+        if satisfies_ind t ind then None
+        else Some (Fmt.str "IND %a violated" Schema.pp_ind ind))
+      t.schema.Schema.inds
+  in
+  fd_bad @ ind_bad
+
+let satisfies_constraints t = violations t = []
+
+(** Structural equality of instances: same schema relation names and
+    same tuple sets. *)
+let equal a b =
+  let names_a = List.sort String.compare (relation_names a) in
+  let names_b = List.sort String.compare (relation_names b) in
+  names_a = names_b
+  && List.for_all
+       (fun rel ->
+         Tuple.Set.equal
+           (Tuple.Set.of_list (tuples a rel))
+           (Tuple.Set.of_list (tuples b rel)))
+       names_a
+
+let pp ppf t =
+  List.iter
+    (fun rel ->
+      Fmt.pf ppf "@[<v2>%s (%d tuples):@,%a@]@." rel (cardinality t rel)
+        Fmt.(list ~sep:cut Tuple.pp)
+        (tuples t rel))
+    (relation_names t)

@@ -1,0 +1,133 @@
+(** A small hand-rolled lexer shared by the text formats (schema
+    files, fact files, Datalog clauses). *)
+
+type token =
+  | Ident of string  (** identifiers: letters, digits, '_', leading letter *)
+  | Int of int
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Dot
+  | Colon
+  | Arrow  (** -> *)
+  | Turnstile  (** :- *)
+  | Eq  (** = *)
+  | Subset  (** <= *)
+  | Eof
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "%s" s
+  | Int n -> Fmt.pf ppf "%d" n
+  | Lparen -> Fmt.string ppf "("
+  | Rparen -> Fmt.string ppf ")"
+  | Lbracket -> Fmt.string ppf "["
+  | Rbracket -> Fmt.string ppf "]"
+  | Comma -> Fmt.string ppf ","
+  | Dot -> Fmt.string ppf "."
+  | Colon -> Fmt.string ppf ":"
+  | Arrow -> Fmt.string ppf "->"
+  | Turnstile -> Fmt.string ppf ":-"
+  | Eq -> Fmt.string ppf "="
+  | Subset -> Fmt.string ppf "<="
+  | Eof -> Fmt.string ppf "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(** [tokenize s] lexes [s]; ['%'] starts a to-end-of-line comment.
+    @raise Error on an unexpected character. *)
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let out = ref [] in
+  let push t = out := t :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then begin
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit s.[!j] do
+        incr j
+      done;
+      push (Int (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      push (Ident (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else begin
+      (match c with
+      | '(' -> push Lparen
+      | ')' -> push Rparen
+      | '[' -> push Lbracket
+      | ']' -> push Rbracket
+      | ',' -> push Comma
+      | '.' -> push Dot
+      | '=' -> push Eq
+      | ':' ->
+          if !i + 1 < n && s.[!i + 1] = '-' then begin
+            push Turnstile;
+            incr i
+          end
+          else push Colon
+      | '-' ->
+          if !i + 1 < n && s.[!i + 1] = '>' then begin
+            push Arrow;
+            incr i
+          end
+          else error "stray '-' at offset %d" !i
+      | '<' ->
+          if !i + 1 < n && s.[!i + 1] = '=' then begin
+            push Subset;
+            incr i
+          end
+          else error "stray '<' at offset %d" !i
+      | c -> error "unexpected character %C at offset %d" c !i);
+      incr i
+    end
+  done;
+  List.rev (Eof :: !out)
+
+(** A mutable token cursor for recursive-descent parsers. *)
+type cursor = { mutable tokens : token list }
+
+let cursor tokens = { tokens }
+
+let peek c = match c.tokens with [] -> Eof | t :: _ -> t
+
+let advance c = match c.tokens with [] -> () | _ :: rest -> c.tokens <- rest
+
+let next c =
+  let t = peek c in
+  advance c;
+  t
+
+(** [expect c t] consumes the next token, failing unless it is [t]. *)
+let expect c t =
+  let got = next c in
+  if got <> t then error "expected %a but found %a" pp_token t pp_token got
+
+(** [ident c] consumes and returns an identifier. *)
+let ident c =
+  match next c with
+  | Ident s -> s
+  | t -> error "expected identifier but found %a" pp_token t

@@ -1,0 +1,207 @@
+(** Normalization theory: attribute-set closure, candidate keys, BCNF
+    analysis, and a decomposition advisor that emits
+    composition/decomposition {!Transform} operations.
+
+    This automates the paper's construction of schema variants: the
+    UW-CSE "4NF schema" of Table 1 is exactly what {!bcnf_decompose}
+    proposes in reverse, and {!compose_advisor} proposes the inverse
+    compositions (student + inPhase + yearsInProgram → student) from
+    the INDs with equality, the way a database designer denormalizes
+    for usability (Section 1). *)
+
+module SS = Set.Make (String)
+
+(** [closure fds xs] is the attribute-set closure [xs⁺] under the FDs
+    (Armstrong's axioms, computed by the standard fixpoint). *)
+let closure (fds : Schema.fd list) xs =
+  let current = ref (SS.of_list xs) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fd : Schema.fd) ->
+        if
+          List.for_all (fun a -> SS.mem a !current) fd.Schema.fd_lhs
+          && not (List.for_all (fun a -> SS.mem a !current) fd.Schema.fd_rhs)
+        then begin
+          current := List.fold_left (fun s a -> SS.add a s) !current fd.Schema.fd_rhs;
+          changed := true
+        end)
+      fds
+  done;
+  SS.elements !current
+
+(** [implies fds fd] — is [fd] implied by [fds]? *)
+let implies fds (fd : Schema.fd) =
+  let cl = closure fds fd.Schema.fd_lhs in
+  List.for_all (fun a -> List.mem a cl) fd.Schema.fd_rhs
+
+(** [is_superkey fds ~sort xs] — does [xs] determine the whole sort? *)
+let is_superkey fds ~sort xs =
+  let cl = SS.of_list (closure fds xs) in
+  List.for_all (fun a -> SS.mem a cl) sort
+
+(* subsets in increasing size, for minimal-key search *)
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let without = subsets rest in
+      without @ List.map (fun s -> x :: s) without
+
+(** [candidate_keys fds ~sort] — all minimal keys of a relation with
+    attribute set [sort] (exponential in arity; sorts here are small). *)
+let candidate_keys fds ~sort =
+  let all =
+    List.filter (fun s -> s <> [] && is_superkey fds ~sort s) (subsets sort)
+  in
+  let minimal k =
+    not
+      (List.exists
+         (fun k' ->
+           List.length k' < List.length k && List.for_all (fun a -> List.mem a k) k')
+         all)
+  in
+  List.filter minimal all |> List.map (List.sort compare) |> List.sort_uniq compare
+
+(** The FDs of [fds] that violate BCNF for a relation with [sort]:
+    non-trivial [X -> Y] where [X] is not a superkey. *)
+let bcnf_violations fds ~sort =
+  List.filter
+    (fun (fd : Schema.fd) ->
+      List.for_all (fun a -> List.mem a sort) (fd.Schema.fd_lhs @ fd.Schema.fd_rhs)
+      && (not (List.for_all (fun a -> List.mem a fd.Schema.fd_lhs) fd.Schema.fd_rhs))
+      && not (is_superkey fds ~sort fd.Schema.fd_lhs))
+    fds
+
+let in_bcnf fds ~sort = bcnf_violations fds ~sort = []
+
+(** [bcnf_decompose schema rel] proposes a {!Transform.op} decomposing
+    [rel] by the classic BCNF algorithm: while some FD [X -> Y]
+    violates BCNF, split off [X ∪ Y] and keep [sort − Y]. Returns
+    [None] when [rel] is already in BCNF w.r.t. its declared FDs.
+    Part names are [rel_1, rel_2, ...]. The resulting join is a chain
+    on the successive [X]s, hence acyclic, and Definition 4.1's INDs
+    with equality are added by {!Transform.apply_schema}. *)
+let bcnf_decompose (schema : Schema.t) rel =
+  let sort = Schema.sort schema rel in
+  let fds = List.filter (fun (fd : Schema.fd) -> String.equal fd.Schema.fd_rel rel) schema.Schema.fds in
+  let parts = ref [] in
+  let counter = ref 0 in
+  let fresh_name () =
+    incr counter;
+    Printf.sprintf "%s_%d" rel !counter
+  in
+  let rec go sort =
+    match bcnf_violations fds ~sort with
+    | [] -> parts := !parts @ [ (fresh_name (), sort) ]
+    | fd :: _ ->
+        let x = fd.Schema.fd_lhs in
+        (* the split-off fragment: X+ restricted to sort *)
+        let xplus = closure fds x in
+        let frag =
+          List.filter (fun a -> List.mem a xplus) sort
+        in
+        let frag = if List.length frag = List.length sort then x @ fd.Schema.fd_rhs else frag in
+        parts := !parts @ [ (fresh_name (), List.filter (fun a -> List.mem a frag) sort) ];
+        let rest =
+          List.filter (fun a -> List.mem a x || not (List.mem a frag)) sort
+        in
+        go rest
+  in
+  if in_bcnf fds ~sort then None
+  else begin
+    go sort;
+    Some (Transform.Decompose { rel; parts = !parts })
+  end
+
+(* column-level equivalence induced by the INDs with equality: two
+   (relation, attribute) columns are equivalent when connected by a
+   chain of unary equality INDs *)
+let column_classes (schema : Schema.t) =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None -> x
+    | Some p ->
+        let r = find p in
+        Hashtbl.replace parent x r;
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter
+    (fun (i : Schema.ind) ->
+      if i.Schema.equality then
+        List.iter2
+          (fun a b -> union (i.Schema.sub_rel, a) (i.Schema.sup_rel, b))
+          i.Schema.sub_attrs i.Schema.sup_attrs)
+    schema.Schema.inds;
+  find
+
+(** [compose_advisor schema] proposes compositions a designer might
+    apply for usability: for every inclusion class whose members join
+    losslessly — every shared attribute of every member pair is
+    covered by a (transitively implied) IND with equality, and the
+    join is acyclic — compose the members into one relation named
+    after the first. This is the Original → 4NF direction of Table 1.
+    Members whose extra shared attributes carry no IND (e.g. ta and
+    taughtBy sharing both course and term while only the course IND
+    holds) are left out: joining them would drop tuples. *)
+let compose_advisor (schema : Schema.t) =
+  let inc = Inclusion.build ~mode:`Equality_only schema in
+  let col_class = column_classes schema in
+  let pair_ok r s_ =
+    let shared =
+      Schema.shared_attrs (Schema.find_relation schema r) (Schema.find_relation schema s_)
+    in
+    List.for_all (fun a -> col_class (r, a) = col_class (s_, a)) shared
+  in
+  (* greedily drop members that join unsafely with an earlier member;
+     hub relations (most equality INDs) are considered first so that
+     e.g. taughtBy survives and the unsafely-joining ta is dropped *)
+  let refine cls =
+    let degree r = List.length (Schema.equality_inds_of schema r) in
+    let cls =
+      List.stable_sort (fun a b -> compare (degree b, a) (degree a, b)) cls
+    in
+    List.fold_left
+      (fun acc r -> if List.for_all (fun r' -> pair_ok r' r) acc then acc @ [ r ] else acc)
+      [] cls
+  in
+  List.filter_map
+    (fun cls ->
+      let cls = refine cls in
+      if List.length cls < 2 then None
+      else if not (Hypergraph.is_acyclic (List.map (Schema.sort schema) cls)) then None
+      else
+        (* compose in an order where consecutive parts share attributes *)
+        let rec order acc remaining =
+          match remaining with
+          | [] -> List.rev acc
+          | _ -> (
+              let joins r =
+                match acc with
+                | [] -> true
+                | _ ->
+                    List.exists
+                      (fun p ->
+                        Schema.shared_attrs
+                          (Schema.find_relation schema p)
+                          (Schema.find_relation schema r)
+                        <> [])
+                      acc
+              in
+              match List.partition joins remaining with
+              | next :: rest_joinable, rest ->
+                  order (next :: acc) (rest_joinable @ rest)
+              | [], _ ->
+                  (* a disconnected member cannot be natural-joined:
+                     leave it out of the proposal *)
+                  List.rev acc)
+        in
+        let parts = order [] cls in
+        if List.length parts < 2 then None
+        else Some (Transform.Compose { parts; into = List.hd parts }))
+    (Inclusion.classes inc)

@@ -1,0 +1,150 @@
+(** Relational schemas: relation symbols with typed sorts, plus
+    functional and inclusion dependencies (the constraint set Σ of the
+    paper, Section 2.2).
+
+    Attributes are identified by name; natural join joins on shared
+    attribute names. Each attribute also names a {e domain} (a logical
+    type such as ["person"] or ["course"]): the learners use domains to
+    type variables so that candidate literals never equate a student
+    with a course. *)
+
+type attribute = {
+  aname : string;  (** attribute symbol, unique within a relation *)
+  domain : string;  (** logical type of the values stored under it *)
+}
+
+type relation = {
+  rname : string;
+  attrs : attribute list;  (** the sort of the relation, in column order *)
+}
+
+(** Functional dependency [lhs -> rhs] over relation [fd_rel]
+    (attribute names). *)
+type fd = { fd_rel : string; fd_lhs : string list; fd_rhs : string list }
+
+(** Inclusion dependency [sub_rel\[sub_attrs\] ⊆ sup_rel\[sup_attrs\]].
+    When [equality] is true the reverse inclusion also holds and the
+    pair is an "IND with equality" in the paper's terminology
+    ([R\[X\] = S\[Y\]]). *)
+type ind = {
+  sub_rel : string;
+  sub_attrs : string list;
+  sup_rel : string;
+  sup_attrs : string list;
+  equality : bool;
+}
+
+type t = { relations : relation list; fds : fd list; inds : ind list }
+
+let empty = { relations = []; fds = []; inds = [] }
+
+let attribute ~domain aname = { aname; domain }
+
+let relation rname attrs = { rname; attrs }
+
+let make ?(fds = []) ?(inds = []) relations = { relations; fds; inds }
+
+exception Unknown_relation of string
+
+(** [find_relation s name] looks up a relation symbol.
+    @raise Unknown_relation when absent. *)
+let find_relation s name =
+  match List.find_opt (fun r -> String.equal r.rname name) s.relations with
+  | Some r -> r
+  | None -> raise (Unknown_relation name)
+
+let mem_relation s name =
+  List.exists (fun r -> String.equal r.rname name) s.relations
+
+let arity s name = List.length (find_relation s name).attrs
+
+(** [sort s name] returns the attribute names of relation [name], in
+    column order — the paper's [sort(R)]. *)
+let sort s name = List.map (fun a -> a.aname) (find_relation s name).attrs
+
+(** [domains s name] returns the attribute domains in column order. *)
+let domains s name = List.map (fun a -> a.domain) (find_relation s name).attrs
+
+(** [positions rel names] maps attribute [names] to their column
+    positions inside [rel].
+    @raise Not_found if a name is missing. *)
+let positions rel names =
+  List.map
+    (fun n ->
+      let rec go i = function
+        | [] -> raise Not_found
+        | a :: _ when String.equal a.aname n -> i
+        | _ :: tl -> go (i + 1) tl
+      in
+      go 0 rel.attrs)
+    names
+
+(** Shared attribute names of two relations, in the column order of the
+    first — the join attributes of a natural join. *)
+let shared_attrs r1 r2 =
+  List.filter_map
+    (fun a ->
+      if List.exists (fun b -> String.equal a.aname b.aname) r2.attrs then
+        Some a.aname
+      else None)
+    r1.attrs
+
+(** INDs with equality in which relation [name] participates
+    (Section 7.1 uses these to chase joining tuples). *)
+let equality_inds_of s name =
+  List.filter
+    (fun i ->
+      i.equality && (String.equal i.sub_rel name || String.equal i.sup_rel name))
+    s.inds
+
+(** All INDs (either direction) in which relation [name] participates. *)
+let inds_of s name =
+  List.filter
+    (fun i -> String.equal i.sub_rel name || String.equal i.sup_rel name)
+    s.inds
+
+let add_relation s r = { s with relations = s.relations @ [ r ] }
+
+let remove_relation s name =
+  { s with relations = List.filter (fun r -> not (String.equal r.rname name)) s.relations }
+
+let add_fd s fd = { s with fds = s.fds @ [ fd ] }
+
+let add_ind s ind = { s with inds = s.inds @ [ ind ] }
+
+(** [ind_with_equality r x s_ y] builds the IND with equality
+    [r\[x\] = s_\[y\]]. *)
+let ind_with_equality sub_rel sub_attrs sup_rel sup_attrs =
+  { sub_rel; sub_attrs; sup_rel; sup_attrs; equality = true }
+
+(** [ind_subset r x s_ y] builds the one-directional IND
+    [r\[x\] ⊆ s_\[y\]]. *)
+let ind_subset sub_rel sub_attrs sup_rel sup_attrs =
+  { sub_rel; sub_attrs; sup_rel; sup_attrs; equality = false }
+
+(** [weaken_inds s] downgrades every IND with equality to a plain
+    subset IND — used by the general decomposition/composition
+    experiments (Section 7.4 / Table 12). *)
+let weaken_inds s =
+  { s with inds = List.map (fun i -> { i with equality = false }) s.inds }
+
+let pp_relation ppf r =
+  Fmt.pf ppf "%s(%a)" r.rname
+    Fmt.(list ~sep:(any ",") string)
+    (List.map (fun a -> a.aname) r.attrs)
+
+let pp_ind ppf i =
+  Fmt.pf ppf "%s[%a] %s %s[%a]" i.sub_rel
+    Fmt.(list ~sep:(any ",") string)
+    i.sub_attrs
+    (if i.equality then "=" else "⊆")
+    i.sup_rel
+    Fmt.(list ~sep:(any ",") string)
+    i.sup_attrs
+
+let pp ppf s =
+  Fmt.pf ppf "@[<v>%a@,%a@]"
+    Fmt.(list ~sep:cut pp_relation)
+    s.relations
+    Fmt.(list ~sep:cut pp_ind)
+    s.inds

@@ -1,0 +1,186 @@
+(** Text format for schemas and database instances, so datasets can be
+    exported, inspected and re-imported without going through OCaml
+    code. The syntax is Datalog-flavoured:
+
+    {v
+    % schema declarations
+    relation student(stud: person, phase: phase, years: years).
+    fd student: stud -> phase, years.
+    ind ta[stud] <= student[stud].
+    ind student[stud] = inPhase[stud].
+
+    % facts
+    student(stud1, post_quals, 4).
+    v}
+
+    Identifiers starting with a digit parse as integer constants;
+    everything else is a string constant. *)
+
+open Lexer
+
+(* ---------------------------- printing ----------------------------- *)
+
+let print_schema ppf (s : Schema.t) =
+  List.iter
+    (fun (r : Schema.relation) ->
+      Fmt.pf ppf "relation %s(%a).@." r.Schema.rname
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (a : Schema.attribute) ->
+              pf ppf "%s: %s" a.Schema.aname a.Schema.domain))
+        r.Schema.attrs)
+    s.Schema.relations;
+  List.iter
+    (fun (fd : Schema.fd) ->
+      Fmt.pf ppf "fd %s: %a -> %a.@." fd.Schema.fd_rel
+        Fmt.(list ~sep:(any ", ") string)
+        fd.Schema.fd_lhs
+        Fmt.(list ~sep:(any ", ") string)
+        fd.Schema.fd_rhs)
+    s.Schema.fds;
+  List.iter
+    (fun (i : Schema.ind) ->
+      Fmt.pf ppf "ind %s[%a] %s %s[%a].@." i.Schema.sub_rel
+        Fmt.(list ~sep:(any ", ") string)
+        i.Schema.sub_attrs
+        (if i.Schema.equality then "=" else "<=")
+        i.Schema.sup_rel
+        Fmt.(list ~sep:(any ", ") string)
+        i.Schema.sup_attrs)
+    s.Schema.inds
+
+let print_value ppf v = Fmt.string ppf (Value.to_string v)
+
+let print_facts ppf (inst : Instance.t) =
+  List.iter
+    (fun rel ->
+      List.iter
+        (fun tu ->
+          Fmt.pf ppf "%s(%a).@." rel
+            Fmt.(array ~sep:(any ", ") print_value)
+            tu)
+        (List.rev (Instance.tuples inst rel)))
+    (Instance.relation_names inst)
+
+let schema_to_string s = Fmt.str "%a" print_schema s
+
+let facts_to_string i = Fmt.str "%a" print_facts i
+
+(* ---------------------------- parsing ------------------------------ *)
+
+let parse_ident_list c =
+  let rec go acc =
+    let x = ident c in
+    match peek c with
+    | Comma ->
+        advance c;
+        go (x :: acc)
+    | _ -> List.rev (x :: acc)
+  in
+  go []
+
+let parse_relation_decl c =
+  let rname = ident c in
+  expect c Lparen;
+  let rec attrs acc =
+    let aname = ident c in
+    expect c Colon;
+    let domain = ident c in
+    let acc = Schema.attribute ~domain aname :: acc in
+    match next c with
+    | Comma -> attrs acc
+    | Rparen -> List.rev acc
+    | t -> error "expected ',' or ')' in relation declaration, found %a" pp_token t
+  in
+  let attrs = attrs [] in
+  expect c Dot;
+  Schema.relation rname attrs
+
+let parse_fd_decl c =
+  let rel = ident c in
+  expect c Colon;
+  let lhs = parse_ident_list c in
+  expect c Arrow;
+  let rhs = parse_ident_list c in
+  expect c Dot;
+  { Schema.fd_rel = rel; fd_lhs = lhs; fd_rhs = rhs }
+
+let parse_side c =
+  let rel = ident c in
+  expect c Lbracket;
+  let attrs = parse_ident_list c in
+  expect c Rbracket;
+  (rel, attrs)
+
+let parse_ind_decl c =
+  let sub_rel, sub_attrs = parse_side c in
+  let equality =
+    match next c with
+    | Eq -> true
+    | Subset -> false
+    | t -> error "expected '=' or '<=' in ind declaration, found %a" pp_token t
+  in
+  let sup_rel, sup_attrs = parse_side c in
+  expect c Dot;
+  { Schema.sub_rel; sub_attrs; sup_rel; sup_attrs; equality }
+
+(** [parse_schema text] reads [relation], [fd] and [ind] declarations.
+    @raise Lexer.Error on malformed input. *)
+let parse_schema text =
+  let c = cursor (tokenize text) in
+  let schema = ref Schema.empty in
+  let rec go () =
+    match next c with
+    | Eof -> !schema
+    | Ident "relation" ->
+        schema := Schema.add_relation !schema (parse_relation_decl c);
+        go ()
+    | Ident "fd" ->
+        schema := Schema.add_fd !schema (parse_fd_decl c);
+        go ()
+    | Ident "ind" ->
+        schema := Schema.add_ind !schema (parse_ind_decl c);
+        go ()
+    | t -> error "expected 'relation', 'fd' or 'ind', found %a" pp_token t
+  in
+  go ()
+
+let parse_value_token c =
+  match next c with
+  | Int n -> Value.int n
+  | Ident s -> Value.str s
+  | t -> error "expected a constant, found %a" pp_token t
+
+let parse_fact c =
+  let rel = ident c in
+  expect c Lparen;
+  let rec args acc =
+    let v = parse_value_token c in
+    match next c with
+    | Comma -> args (v :: acc)
+    | Rparen -> List.rev (v :: acc)
+    | t -> error "expected ',' or ')' in fact, found %a" pp_token t
+  in
+  let vs = args [] in
+  expect c Dot;
+  (rel, vs)
+
+(** [parse_facts schema text] reads ground facts into a fresh instance
+    of [schema].
+    @raise Lexer.Error on malformed input, [Schema.Unknown_relation] or
+    [Instance.Arity_mismatch] on facts that do not fit the schema. *)
+let parse_facts schema text =
+  let c = cursor (tokenize text) in
+  let inst = Instance.create schema in
+  let rec go () =
+    match peek c with
+    | Eof -> inst
+    | _ ->
+        let rel, vs = parse_fact c in
+        Instance.add_list inst rel vs;
+        go ()
+  in
+  go ()
+
+(** [parse_instance ~schema_text ~facts_text] — both at once. *)
+let parse_instance ~schema_text ~facts_text =
+  parse_facts (parse_schema schema_text) facts_text

@@ -1,0 +1,265 @@
+(** Composition / decomposition schema transformations (Section 4).
+
+    A transformation is a finite sequence of operations, each either a
+    vertical decomposition of one relation into parts (projection) or a
+    composition of several relations into one (natural join). Applying
+    a transformation to a schema rewrites the relation symbols and
+    constraints; applying it to an instance computes [τ(I)].
+
+    Decomposition follows Definition 4.1: the parts must cover the
+    sort, the reconstruction join must be acyclic, and INDs with
+    equality are added between every pair of parts that share
+    attributes. Constraints of the original schema that fall entirely
+    inside one part are carried over. *)
+
+type op =
+  | Decompose of { rel : string; parts : (string * string list) list }
+      (** split [rel] into named parts, each keeping the listed
+          attributes (in the listed order) *)
+  | Compose of { parts : string list; into : string }
+      (** natural-join [parts] into a single relation [into]; the
+          result's sort is the deduplicated concatenation of the parts'
+          sorts in part order *)
+
+type t = op list
+
+exception Illegal of string
+
+let illegal fmt = Fmt.kstr (fun s -> raise (Illegal s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Schema-level application                                            *)
+(* ------------------------------------------------------------------ *)
+
+let attr_of (r : Schema.relation) name =
+  match List.find_opt (fun (a : Schema.attribute) -> String.equal a.aname name) r.attrs with
+  | Some a -> a
+  | None -> illegal "attribute %s not in relation %s" name r.rname
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+(* Rewrites constraints of a decomposed relation onto the part that
+   contains all their attributes; constraints spanning parts are
+   dropped (they are implied by the derived INDs plus part-local
+   constraints for the transformations we use). *)
+let rehome_constraints_decompose (s : Schema.t) rel (parts : (string * string list) list) =
+  let home attrs =
+    List.find_opt (fun (_, pattrs) -> subset attrs pattrs) parts
+  in
+  let fds =
+    List.filter_map
+      (fun (fd : Schema.fd) ->
+        if not (String.equal fd.fd_rel rel) then Some fd
+        else
+          match home (fd.fd_lhs @ fd.fd_rhs) with
+          | Some (pname, _) -> Some { fd with fd_rel = pname }
+          | None -> None)
+      s.Schema.fds
+  in
+  let inds =
+    List.filter_map
+      (fun (ind : Schema.ind) ->
+        let fix_side r attrs =
+          if String.equal r rel then
+            match home attrs with
+            | Some (pname, _) -> Some pname
+            | None -> None
+          else Some r
+        in
+        match fix_side ind.sub_rel ind.sub_attrs, fix_side ind.sup_rel ind.sup_attrs with
+        | Some sub, Some sup -> Some { ind with sub_rel = sub; sup_rel = sup }
+        | _ -> None)
+      s.Schema.inds
+  in
+  (fds, inds)
+
+let apply_op_schema (s : Schema.t) = function
+  | Decompose { rel; parts } ->
+      let r = Schema.find_relation s rel in
+      let sort = List.map (fun (a : Schema.attribute) -> a.aname) r.attrs in
+      let covered = List.concat_map snd parts in
+      if not (subset sort covered && subset covered sort) then
+        illegal "decomposition of %s does not cover its sort exactly" rel;
+      List.iter
+        (fun (pname, _) ->
+          if Schema.mem_relation s pname && not (String.equal pname rel) then
+            illegal "decomposition part %s already exists" pname)
+        parts;
+      if not (Hypergraph.is_acyclic (List.map snd parts)) then
+        illegal "decomposition of %s has a cyclic reconstruction join" rel;
+      let fds, inds = rehome_constraints_decompose s rel parts in
+      let part_rels =
+        List.map
+          (fun (pname, attrs) ->
+            Schema.relation pname (List.map (attr_of r) attrs))
+          parts
+      in
+      (* Definition 4.1 second condition: INDs with equality between
+         every pair of parts sharing attributes. *)
+      let derived =
+        let rec pairs = function
+          | [] -> []
+          | p :: rest -> List.map (fun q -> (p, q)) rest @ pairs rest
+        in
+        List.filter_map
+          (fun ((p, pa), (q, qa)) ->
+            let x = List.filter (fun a -> List.mem a qa) pa in
+            if x = [] then None else Some (Schema.ind_with_equality p x q x))
+          (pairs parts)
+      in
+      let s = Schema.remove_relation s rel in
+      let s = List.fold_left Schema.add_relation s part_rels in
+      { s with Schema.fds; inds = inds @ derived }
+  | Compose { parts; into } ->
+      if List.length parts < 2 then illegal "composition needs >= 2 parts";
+      let rels = List.map (Schema.find_relation s) parts in
+      (* connectivity: the join must not degenerate to a product *)
+      let sorts = List.map (fun (r : Schema.relation) -> List.map (fun (a : Schema.attribute) -> a.aname) r.attrs) rels in
+      if not (Hypergraph.is_acyclic sorts) then
+        illegal "composition %s has a cyclic join" into;
+      let attrs =
+        List.fold_left
+          (fun acc (r : Schema.relation) ->
+            List.fold_left
+              (fun acc (a : Schema.attribute) ->
+                if List.exists (fun (b : Schema.attribute) -> String.equal a.aname b.aname) acc
+                then acc
+                else acc @ [ a ])
+              acc r.attrs)
+          [] rels
+      in
+      let in_parts r = List.mem r parts in
+      let fds =
+        List.map
+          (fun (fd : Schema.fd) ->
+            if in_parts fd.fd_rel then { fd with fd_rel = into } else fd)
+          s.Schema.fds
+      in
+      let inds =
+        List.filter_map
+          (fun (ind : Schema.ind) ->
+            let sub = if in_parts ind.sub_rel then into else ind.sub_rel in
+            let sup = if in_parts ind.sup_rel then into else ind.sup_rel in
+            if String.equal sub sup && ind.sub_attrs = ind.sup_attrs then None
+            else Some { ind with sub_rel = sub; sup_rel = sup })
+          s.Schema.inds
+      in
+      let s = List.fold_left Schema.remove_relation s parts in
+      let s = Schema.add_relation s (Schema.relation into attrs) in
+      { s with Schema.fds; inds }
+
+(** [apply_schema s t] applies the operations in order. *)
+let apply_schema s (t : t) = List.fold_left apply_op_schema s t
+
+(* ------------------------------------------------------------------ *)
+(* Instance-level application (τ)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let copy_relations src dst names =
+  List.iter
+    (fun rel ->
+      List.iter (fun tu -> Instance.add dst rel tu) (Instance.tuples src rel))
+    names
+
+let apply_op_instance inst op =
+  let s = Instance.schema inst in
+  let s' = apply_op_schema s op in
+  let out = Instance.create s' in
+  (match op with
+  | Decompose { rel; parts } ->
+      copy_relations inst out
+        (List.filter (fun r -> not (String.equal r rel)) (Instance.relation_names inst));
+      List.iter
+        (fun (pname, attrs) ->
+          List.iter (fun tu -> Instance.add out pname tu) (Algebra.project inst rel attrs))
+        parts
+  | Compose { parts; into } ->
+      copy_relations inst out
+        (List.filter (fun r -> not (List.mem r parts)) (Instance.relation_names inst));
+      let joined =
+        Algebra.natural_join_all (List.map (Algebra.table_of_relation inst) parts)
+      in
+      let want = Schema.sort s' into in
+      let joined = Algebra.reorder joined want in
+      List.iter (fun tu -> Instance.add out into tu) joined.Algebra.trows);
+  out
+
+(** [apply_instance i t] computes [τ(I)]. *)
+let apply_instance inst (t : t) = List.fold_left apply_op_instance inst t
+
+(* ------------------------------------------------------------------ *)
+(* Inverse transformation (τ⁻¹)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [inverse s t] builds the inverse transformation of [t], valid for
+    instances in the image of [τ]. Each decomposition inverts to the
+    composition of its parts and vice versa; [s] is the schema [t]
+    applies to (needed to recover part sorts when inverting a
+    composition). *)
+let inverse (s : Schema.t) (t : t) =
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map (fun p -> x :: p)
+              (permutations (List.filter (fun y -> y != x) l)))
+          l
+  in
+  let dedup_concat sorts =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun acc a -> if List.mem a acc then acc else acc @ [ a ]) acc s)
+      [] sorts
+  in
+  let rec go s acc = function
+    | [] -> acc (* already reversed *)
+    | op :: rest ->
+        let inv =
+          match op with
+          | Decompose { rel; parts } ->
+              (* choose a part order whose recomposition restores the
+                 original column order, when one exists — instance
+                 equality after a round trip is order-sensitive *)
+              let original_sort = Schema.sort s rel in
+              let named = List.map fst parts in
+              let order =
+                if List.length named <= 6 then
+                  List.find_opt
+                    (fun perm ->
+                      dedup_concat
+                        (List.map (fun p -> List.assoc p parts) perm)
+                      = original_sort)
+                    (permutations named)
+                else None
+              in
+              Compose { parts = Option.value ~default:named order; into = rel }
+          | Compose { parts; into } ->
+              Decompose
+                {
+                  rel = into;
+                  parts =
+                    List.map (fun p -> (p, Schema.sort s p)) parts;
+                }
+        in
+        go (apply_op_schema s op) (inv :: acc) rest
+  in
+  go s [] t
+
+(** [is_identity_on s t i] checks [τ⁻¹(τ(I)) = I] — the invertibility
+    half of information equivalence (Section 3.2.1). *)
+let round_trips inst (t : t) =
+  let s = Instance.schema inst in
+  let fwd = apply_instance inst t in
+  let back = apply_instance fwd (inverse s t) in
+  Instance.equal inst back
+
+let pp_op ppf = function
+  | Decompose { rel; parts } ->
+      Fmt.pf ppf "decompose %s -> %a" rel
+        Fmt.(list ~sep:comma (fun ppf (n, a) -> pf ppf "%s(%a)" n (list ~sep:(any ",") string) a))
+        parts
+  | Compose { parts; into } ->
+      Fmt.pf ppf "compose %a -> %s" Fmt.(list ~sep:comma string) parts into
+
+let pp = Fmt.(list ~sep:(any "; ") pp_op)

@@ -1,0 +1,46 @@
+(** Tuples are fixed-arity arrays of constants.
+
+    A tuple by itself carries no attribute names; its positions are
+    interpreted against the sort of the relation that stores it. *)
+
+type t = Value.t array
+
+let arity (t : t) = Array.length t
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && (let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+      go 0)
+
+let compare (a : t) (b : t) =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let hash (t : t) = Hashtbl.hash (Array.map Value.hash t)
+
+(** [project positions t] keeps the listed positions, in order. *)
+let project positions (t : t) = Array.map (fun i -> t.(i)) (Array.of_list positions)
+
+(** [mem v t] tests whether constant [v] occurs in [t]. *)
+let mem v (t : t) = Array.exists (Value.equal v) t
+
+let of_list vs : t = Array.of_list vs
+
+let to_list (t : t) = Array.to_list t
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") Value.pp) t
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,48 @@
+(** Constants stored in database tuples.
+
+    The paper fixes a countably infinite domain [D] of values. We use
+    tagged integers and strings; every dataset generator mints string
+    constants that encode their entity kind (e.g. ["stud12"]) so that
+    constants from different attribute domains never collide. *)
+
+type t =
+  | Int of int
+  | Str of string
+
+let compare (a : t) (b : t) =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+
+(** [to_string v] renders the constant the way it appears in learned
+    Datalog clauses. *)
+let to_string = function
+  | Int x -> string_of_int x
+  | Str s -> s
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+(** Convenience constructors. *)
+let int n = Int n
+
+let str s = Str s
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Atom Castor_logic Castor_relational Clause Instance List Printf QCheck2 QCheck_alcotest Schema Term Transform Value

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Castor_datasets Castor_logic Castor_relational Datalog Eval Helpers Instance List Parse Printf QCheck2 Schema Tuple Value

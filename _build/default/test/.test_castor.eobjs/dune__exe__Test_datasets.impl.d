@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array Atom Castor_datasets Castor_ilp Castor_logic Castor_relational Dataset Eval Examples Family Helpers Hiv Imdb Instance Lazy List Rewrite Schema Transform Uwcse

@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Castor_datasets Castor_relational Discovery Helpers Instance List Normalize Printf Schema String Transform Value

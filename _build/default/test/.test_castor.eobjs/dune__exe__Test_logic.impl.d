@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Atom Castor_logic Castor_relational Clause Eval Helpers Instance Lgg List Minimize Printf QCheck2 Rewrite Subst Subsume Term Transform Tuple Value

@@ -1,0 +1,1 @@
+test/test_qlearn.ml: A2 Alcotest Array Atom Bounds Castor_datasets Castor_logic Castor_qlearn Castor_relational Clause Gen Helpers List Oracle Printf Random Rewrite Subsume Term Transform Value

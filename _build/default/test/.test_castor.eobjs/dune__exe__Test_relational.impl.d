@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Array Castor_relational Fmt Helpers Hypergraph Instance List QCheck2 Schema Transform Tuple Value

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Array Atom Castor_datasets Castor_logic Castor_relational Clause Helpers Instance Lexer List Parse Schema Sql String Subst Subsume Term Text Value

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Castor_datasets Castor_relational Helpers Inclusion Instance List Schema String Transform

@@ -1,0 +1,113 @@
+(* Shared test fixtures and QCheck generators. *)
+
+open Castor_relational
+open Castor_logic
+
+let check = Alcotest.check
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let qt ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------------- fixed relational fixtures ---------------- *)
+
+(* R(a,b,c) with FD a -> b,c; its decomposition into R1(a,b), R2(a,c) *)
+let abc_schema =
+  let at = Schema.attribute in
+  Schema.make
+    ~fds:[ { Schema.fd_rel = "r"; fd_lhs = [ "a" ]; fd_rhs = [ "b"; "c" ] } ]
+    [
+      Schema.relation "r"
+        [ at ~domain:"da" "a"; at ~domain:"db" "b"; at ~domain:"dc" "c" ];
+    ]
+
+let abc_decomposition : Transform.t =
+  [
+    Transform.Decompose
+      { rel = "r"; parts = [ ("r1", [ "a"; "b" ]); ("r2", [ "a"; "c" ]) ] };
+  ]
+
+(* a deterministic instance of abc_schema satisfying the FD *)
+let abc_instance ?(n = 12) () =
+  let inst = Instance.create abc_schema in
+  for i = 0 to n - 1 do
+    Instance.add_list inst "r"
+      [
+        Value.str (Printf.sprintf "a%d" i);
+        Value.str (Printf.sprintf "b%d" (i mod 4));
+        Value.str (Printf.sprintf "c%d" (i mod 3));
+      ]
+  done;
+  inst
+
+(* random instances of abc_schema; b and c are functions of a so the
+   FD a -> b,c holds by construction *)
+let abc_instance_gen =
+  QCheck2.Gen.(
+    let tuple =
+      map
+        (fun a ->
+          [
+            Value.str (Printf.sprintf "a%d" a);
+            Value.str (Printf.sprintf "b%d" (a mod 4));
+            Value.str (Printf.sprintf "c%d" (a mod 3));
+          ])
+        (int_bound 30)
+    in
+    map
+      (fun rows ->
+        let inst = Instance.create abc_schema in
+        List.iter (fun row -> Instance.add_list inst "r" row) rows;
+        inst)
+      (list_size (int_range 0 25) tuple))
+
+(* ---------------- random clauses over a tiny signature -------- *)
+
+(* relations p/2, q/2, s/1 over variables x0..x4 and constants k0..k2 *)
+let term_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Term.Var (Printf.sprintf "x%d" i)) (int_bound 4);
+        map (fun i -> Term.Const (Value.str (Printf.sprintf "k%d" i))) (int_bound 2);
+      ])
+
+let atom_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun t1 t2 -> Atom.make "p" [ t1; t2 ]) term_gen term_gen;
+        map2 (fun t1 t2 -> Atom.make "q" [ t1; t2 ]) term_gen term_gen;
+        map (fun t -> Atom.make "s" [ t ]) term_gen;
+      ])
+
+let clause_gen =
+  QCheck2.Gen.(
+    map2
+      (fun h body -> Clause.make (Atom.make "t" [ h ]) body)
+      term_gen
+      (list_size (int_range 0 6) atom_gen))
+
+let ground_term_gen =
+  QCheck2.Gen.(map (fun i -> Term.Const (Value.str (Printf.sprintf "k%d" i))) (int_bound 5))
+
+let ground_atom_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun t1 t2 -> Atom.make "p" [ t1; t2 ]) ground_term_gen ground_term_gen;
+        map2 (fun t1 t2 -> Atom.make "q" [ t1; t2 ]) ground_term_gen ground_term_gen;
+        map (fun t -> Atom.make "s" [ t ]) ground_term_gen;
+      ])
+
+let ground_clause_gen =
+  QCheck2.Gen.(
+    map2
+      (fun h body -> Clause.make (Atom.make "t" [ h ]) body)
+      ground_term_gen
+      (list_size (int_range 0 8) ground_atom_gen))
+
+let clause_print c = Clause.to_string c
+
+let clause_pair_print (c, d) = Clause.to_string c ^ "  ///  " ^ Clause.to_string d

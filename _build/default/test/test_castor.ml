@@ -1,0 +1,20 @@
+(* Test runner: aggregates per-area suites. *)
+
+let () =
+  Alcotest.run "castor"
+    [
+      ("relational", Test_relational.suite);
+      ("transform", Test_transform.suite);
+      ("logic", Test_logic.suite);
+      ("text", Test_text.suite);
+      ("discovery", Test_discovery.suite);
+      ("datalog", Test_datalog.suite);
+      ("ilp", Test_ilp.suite);
+      ("learners", Test_learners.suite);
+      ("core", Test_core.suite);
+      ("qlearn", Test_qlearn.suite);
+      ("datasets", Test_datasets.suite);
+      ("eval", Test_eval.suite);
+      ("independence", Test_independence.suite);
+      ("theorems", Test_theorems.suite);
+    ]

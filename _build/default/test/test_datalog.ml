@@ -1,0 +1,96 @@
+(* Tests for the semi-naive Datalog engine. *)
+
+open Castor_relational
+open Castor_logic
+open Helpers
+
+(* a small edge relation for reachability programs *)
+let edge_schema =
+  let at = Schema.attribute in
+  Schema.make
+    [ Schema.relation "edge" [ at ~domain:"node" "x"; at ~domain:"node" "y" ] ]
+
+let edges l =
+  let inst = Instance.create edge_schema in
+  List.iter
+    (fun (a, b) -> Instance.add_list inst "edge" [ Value.str a; Value.str b ])
+    l;
+  inst
+
+let tuple2 a b = Tuple.of_list [ Value.str a; Value.str b ]
+
+let suite =
+  [
+    tc "non-recursive program agrees with Eval" (fun () ->
+        let inst = edges [ ("a", "b"); ("b", "c"); ("c", "d") ] in
+        let def =
+          Parse.definition "hop2(X, Z) :- edge(X, Y), edge(Y, Z)."
+        in
+        let via_eval = Eval.definition_answers inst def in
+        let via_datalog = Datalog.definition_answers inst def in
+        check Alcotest.bool "equal" true (Tuple.Set.equal via_eval via_datalog));
+    tc "transitive closure reaches everything" (fun () ->
+        let inst = edges [ ("a", "b"); ("b", "c"); ("c", "d") ] in
+        let program =
+          [
+            Parse.clause "path(X, Y) :- edge(X, Y).";
+            Parse.clause "path(X, Z) :- path(X, Y), edge(Y, Z).";
+          ]
+        in
+        let ans = Datalog.query inst program "path" in
+        check Alcotest.int "6 paths" 6 (Tuple.Set.cardinal ans);
+        check Alcotest.bool "a->d" true (Tuple.Set.mem (tuple2 "a" "d") ans));
+    tc "cyclic graphs terminate" (fun () ->
+        let inst = edges [ ("a", "b"); ("b", "c"); ("c", "a") ] in
+        let program =
+          [
+            Parse.clause "path(X, Y) :- edge(X, Y).";
+            Parse.clause "path(X, Z) :- path(X, Y), edge(Y, Z).";
+          ]
+        in
+        let ans = Datalog.query inst program "path" in
+        (* complete digraph on 3 nodes *)
+        check Alcotest.int "9 paths" 9 (Tuple.Set.cardinal ans));
+    tc "mutual recursion across derived relations" (fun () ->
+        let inst = edges [ ("a", "b"); ("b", "c"); ("c", "d"); ("d", "e") ] in
+        let program =
+          [
+            Parse.clause "even(X, X) :- edge(X, Y).";
+            Parse.clause "even(X, Z) :- odd(X, Y), edge(Y, Z).";
+            Parse.clause "odd(X, Y) :- even(X, X2), edge(X2, Y).";
+          ]
+        in
+        let even = Datalog.query inst program "even" in
+        (* a reaches c and e in an even number of steps *)
+        check Alcotest.bool "a->c even" true (Tuple.Set.mem (tuple2 "a" "c") even);
+        check Alcotest.bool "a->e even" true (Tuple.Set.mem (tuple2 "a" "e") even);
+        check Alcotest.bool "a->b not even" false (Tuple.Set.mem (tuple2 "a" "b") even));
+    tc "unsafe clauses are rejected" (fun () ->
+        let inst = edges [ ("a", "b") ] in
+        let cl = Parse.clause "t(X, W) :- edge(X, Y)." in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Datalog.run inst [ cl ]);
+             false
+           with Datalog.Unsafe_clause _ -> true));
+    tc "learned definitions evaluate identically under Datalog" (fun () ->
+        let ds = Castor_datasets.Family.generate () in
+        match ds.Castor_datasets.Dataset.golden with
+        | None -> Alcotest.fail "golden"
+        | Some g ->
+            let inst = ds.Castor_datasets.Dataset.instance in
+            check Alcotest.bool "same answers" true
+              (Tuple.Set.equal
+                 (Eval.definition_answers inst g)
+                 (Datalog.definition_answers inst g)));
+    qt ~count:25 "datalog and eval agree on random edge programs"
+      QCheck2.Gen.(list_size (int_range 0 15) (tup2 (int_bound 6) (int_bound 6)))
+      (fun pairs ->
+        let inst =
+          edges (List.map (fun (a, b) -> (Printf.sprintf "n%d" a, Printf.sprintf "n%d" b)) pairs)
+        in
+        let def = Parse.definition "t(X, Z) :- edge(X, Y), edge(Y, Z)." in
+        Tuple.Set.equal
+          (Eval.definition_answers inst def)
+          (Datalog.definition_answers inst def));
+  ]

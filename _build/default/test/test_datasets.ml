@@ -1,0 +1,155 @@
+(* Tests for the synthetic dataset generators: constraints hold,
+   variants are information equivalent, examples are consistent with
+   the planted concepts. *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+open Castor_datasets
+open Helpers
+
+let datasets =
+  [
+    ("family", lazy (Family.generate ()));
+    ("uwcse", lazy (Uwcse.generate ()));
+    ("hiv", lazy (Hiv.generate ()));
+    ("imdb", lazy (Imdb.generate ()));
+  ]
+
+let per_dataset name (dsl : Dataset.t Lazy.t) =
+  [
+    tc (name ^ ": base instance satisfies its constraints") (fun () ->
+        let ds = Lazy.force dsl in
+        check Alcotest.(list string) "no violations" [] (Instance.violations ds.Dataset.instance));
+    tc (name ^ ": every variant satisfies its constraints") (fun () ->
+        let ds = Lazy.force dsl in
+        List.iter
+          (fun (vname, _) ->
+            let v = Dataset.variant_named ds vname in
+            check Alcotest.(list string) (vname ^ " ok") []
+              (Instance.violations v.Dataset.vinstance))
+          ds.Dataset.variants);
+    tc (name ^ ": every variant transformation round-trips") (fun () ->
+        let ds = Lazy.force dsl in
+        List.iter
+          (fun (vname, tr) ->
+            check Alcotest.bool (vname ^ " roundtrip") true
+              (Transform.round_trips ds.Dataset.instance tr))
+          ds.Dataset.variants);
+    tc (name ^ ": positive and negative examples are disjoint") (fun () ->
+        let ds = Lazy.force dsl in
+        let ex = ds.Dataset.examples in
+        Array.iter
+          (fun p ->
+            check Alcotest.bool "not negative" false
+              (Array.exists (Atom.equal p) ex.Examples.neg))
+          ex.Examples.pos);
+    tc (name ^ ": generation is deterministic") (fun () ->
+        let ds1 = Lazy.force dsl in
+        let regenerate () =
+          match name with
+          | "family" -> Family.generate ()
+          | "uwcse" -> Uwcse.generate ()
+          | "hiv" -> Hiv.generate ()
+          | _ -> Imdb.generate ()
+        in
+        let ds2 = regenerate () in
+        check Alcotest.bool "same instance" true
+          (Instance.equal ds1.Dataset.instance ds2.Dataset.instance);
+        check Alcotest.int "same #pos"
+          (Array.length ds1.Dataset.examples.Examples.pos)
+          (Array.length ds2.Dataset.examples.Examples.pos));
+  ]
+
+let golden_suite =
+  [
+    tc "family golden definition separates the examples" (fun () ->
+        let ds = Family.generate () in
+        match ds.Dataset.golden with
+        | None -> Alcotest.fail "family has a golden definition"
+        | Some g ->
+            let inst = ds.Dataset.instance in
+            Array.iter
+              (fun e ->
+                check Alcotest.bool "covers positive" true (Eval.definition_covers inst g e))
+              ds.Dataset.examples.Examples.pos;
+            Array.iter
+              (fun e ->
+                check Alcotest.bool "rejects negative" false (Eval.definition_covers inst g e))
+              ds.Dataset.examples.Examples.neg);
+    tc "imdb golden definition separates the examples" (fun () ->
+        let ds = Imdb.generate () in
+        match ds.Dataset.golden with
+        | None -> Alcotest.fail "imdb has a golden definition"
+        | Some g ->
+            let inst = ds.Dataset.instance in
+            Array.iter
+              (fun e ->
+                check Alcotest.bool "covers positive" true (Eval.definition_covers inst g e))
+              ds.Dataset.examples.Examples.pos;
+            Array.iter
+              (fun e ->
+                check Alcotest.bool "rejects negative" false (Eval.definition_covers inst g e))
+              ds.Dataset.examples.Examples.neg);
+    tc "imdb golden definition maps across every variant" (fun () ->
+        let ds = Imdb.generate () in
+        match ds.Dataset.golden with
+        | None -> Alcotest.fail "golden"
+        | Some g ->
+            List.iter
+              (fun (vname, tr) ->
+                let v = Dataset.variant_named ds vname in
+                let g' = Rewrite.definition ds.Dataset.schema tr g in
+                Array.iter
+                  (fun e ->
+                    check Alcotest.bool (vname ^ " covers positive") true
+                      (Eval.definition_covers v.Dataset.vinstance g' e))
+                  ds.Dataset.examples.Examples.pos)
+              ds.Dataset.variants);
+    tc "uwcse schemas follow Table 1" (fun () ->
+        let ds = Uwcse.generate () in
+        let v4 = Dataset.variant_named ds "4nf" in
+        check Alcotest.(list string) "student sort" [ "stud"; "phase"; "years" ]
+          (Schema.sort v4.Dataset.vschema "student");
+        check Alcotest.(list string) "professor sort" [ "prof"; "position" ]
+          (Schema.sort v4.Dataset.vschema "professor"));
+    tc "hiv 4nf-1 composes the bond relations (Table 3)" (fun () ->
+        let ds = Hiv.generate () in
+        let v = Dataset.variant_named ds "4nf-1" in
+        check Alcotest.(list string) "bonds sort" [ "bd"; "atm1"; "atm2"; "t1"; "t2"; "t3" ]
+          (Schema.sort v.Dataset.vschema "bonds"));
+    tc "hiv 4nf-2 splits the bond endpoints (Table 3)" (fun () ->
+        let ds = Hiv.generate () in
+        let v = Dataset.variant_named ds "4nf-2" in
+        check Alcotest.(list string) "source" [ "bd"; "atm1" ]
+          (Schema.sort v.Dataset.vschema "bondSource");
+        check Alcotest.(list string) "target" [ "bd"; "atm2" ]
+          (Schema.sort v.Dataset.vschema "bondTarget"));
+    tc "imdb stanford schema composes the movie star (Table 6)" (fun () ->
+        let ds = Imdb.generate () in
+        let v = Dataset.variant_named ds "stanford" in
+        check Alcotest.(list string) "movie sort" [ "id"; "title"; "year"; "gid"; "did" ]
+          (Schema.sort v.Dataset.vschema "movie"));
+  ]
+
+let derive_suite =
+  [
+    tc "derive_value_domains separates categorical from entity domains" (fun () ->
+        let ds = Family.generate () in
+        let cat, ent = Dataset.derive_value_domains ds.Dataset.instance in
+        (* gender has 2 values -> categorical; person has many -> entity *)
+        check Alcotest.bool "gender categorical" true (List.mem_assoc "gender" cat);
+        check Alcotest.bool "person entity" true (List.mem "person" ent));
+    tc "of_instance wraps a raw problem with derived modes" (fun () ->
+        let ds = Family.generate () in
+        let wrapped =
+          Dataset.of_instance ~name:"w" ~target:ds.Dataset.target ds.Dataset.instance
+            ds.Dataset.examples
+        in
+        check Alcotest.bool "has const pool" true (wrapped.Dataset.const_pool <> []);
+        check Alcotest.int "one base variant" 1 (List.length wrapped.Dataset.variants));
+  ]
+
+let suite =
+  List.concat_map (fun (n, d) -> per_dataset n d) datasets
+  @ golden_suite @ derive_suite

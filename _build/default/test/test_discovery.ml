@@ -1,0 +1,153 @@
+(* Tests for dependency discovery and the normalization advisor. *)
+
+open Castor_relational
+open Helpers
+
+let discovery_suite =
+  [
+    tc "unary INDs discovered on family (parent ⊆ gender)" (fun () ->
+        let ds = Castor_datasets.Family.generate () in
+        let found = Discovery.unary_inds ds.Castor_datasets.Dataset.instance in
+        check Alcotest.bool "parent[x] ⊆ gender[p] (some direction)" true
+          (List.exists
+             (fun (i : Schema.ind) ->
+               String.equal i.Schema.sub_rel "parent"
+               && String.equal i.Schema.sup_rel "gender")
+             found));
+    tc "IND with equality discovered between gender and ageGroup" (fun () ->
+        let ds = Castor_datasets.Family.generate () in
+        let found = Discovery.unary_inds ds.Castor_datasets.Dataset.instance in
+        check Alcotest.bool "equality found" true
+          (List.exists
+             (fun (i : Schema.ind) ->
+               i.Schema.equality
+               && ((String.equal i.Schema.sub_rel "gender" && String.equal i.Schema.sup_rel "ageGroup")
+                  || (String.equal i.Schema.sub_rel "ageGroup" && String.equal i.Schema.sup_rel "gender")))
+             found));
+    tc "discovered INDs hold in the instance" (fun () ->
+        let ds = Castor_datasets.Uwcse.generate () in
+        let inst = ds.Castor_datasets.Dataset.instance in
+        let found = Discovery.unary_inds inst in
+        List.iter
+          (fun ind -> check Alcotest.bool "holds" true (Instance.satisfies_ind inst ind))
+          found);
+    tc "hiv bond-type INDs with equality rediscovered (Table 4)" (fun () ->
+        let ds = Castor_datasets.Hiv.generate () in
+        let found = Discovery.unary_inds ds.Castor_datasets.Dataset.instance in
+        check Alcotest.bool "bonds[bd] = bType1[bd]" true
+          (List.exists
+             (fun (i : Schema.ind) ->
+               i.Schema.equality
+               && ((String.equal i.Schema.sub_rel "bonds" && String.equal i.Schema.sup_rel "bType1")
+                  || (String.equal i.Schema.sub_rel "bType1" && String.equal i.Schema.sup_rel "bonds")))
+             found));
+    tc "fd discovery finds declared dependencies" (fun () ->
+        let inst = abc_instance () in
+        let fds = Discovery.fds inst "r" in
+        (* a -> b and a -> c hold by construction *)
+        check Alcotest.bool "a -> b" true
+          (List.exists
+             (fun (fd : Schema.fd) -> fd.Schema.fd_lhs = [ "a" ] && fd.Schema.fd_rhs = [ "b" ])
+             fds);
+        check Alcotest.bool "a -> c" true
+          (List.exists
+             (fun (fd : Schema.fd) -> fd.Schema.fd_lhs = [ "a" ] && fd.Schema.fd_rhs = [ "c" ])
+             fds));
+    tc "fd discovery reports only minimal LHSs" (fun () ->
+        let inst = abc_instance () in
+        let fds = Discovery.fds ~max_lhs:2 inst "r" in
+        check Alcotest.bool "no {a,b} -> c when a -> c holds" true
+          (not
+             (List.exists
+                (fun (fd : Schema.fd) ->
+                  List.length fd.Schema.fd_lhs = 2 && List.mem "a" fd.Schema.fd_lhs)
+                fds)));
+    qt ~count:25 "discovered FDs hold on random instances" abc_instance_gen
+      (fun inst ->
+        List.for_all (Instance.satisfies_fd inst) (Discovery.fds inst "r"));
+    tc "annotate enriches the schema" (fun () ->
+        let inst = abc_instance () in
+        let s = Discovery.annotate inst in
+        check Alcotest.bool "has fds" true (List.length s.Schema.fds >= 2));
+  ]
+
+let normalize_suite =
+  [
+    tc "closure computes X+" (fun () ->
+        let fds =
+          [
+            { Schema.fd_rel = "r"; fd_lhs = [ "a" ]; fd_rhs = [ "b" ] };
+            { Schema.fd_rel = "r"; fd_lhs = [ "b" ]; fd_rhs = [ "c" ] };
+          ]
+        in
+        check Alcotest.(list string) "a+ = abc" [ "a"; "b"; "c" ]
+          (List.sort compare (Normalize.closure fds [ "a" ])));
+    tc "implies uses the closure" (fun () ->
+        let fds =
+          [
+            { Schema.fd_rel = "r"; fd_lhs = [ "a" ]; fd_rhs = [ "b" ] };
+            { Schema.fd_rel = "r"; fd_lhs = [ "b" ]; fd_rhs = [ "c" ] };
+          ]
+        in
+        check Alcotest.bool "a -> c implied" true
+          (Normalize.implies fds { Schema.fd_rel = "r"; fd_lhs = [ "a" ]; fd_rhs = [ "c" ] });
+        check Alcotest.bool "c -> a not implied" false
+          (Normalize.implies fds { Schema.fd_rel = "r"; fd_lhs = [ "c" ]; fd_rhs = [ "a" ] }));
+    tc "candidate keys of abc relation" (fun () ->
+        check Alcotest.(list (list string)) "a is the key" [ [ "a" ] ]
+          (Normalize.candidate_keys abc_schema.Schema.fds ~sort:[ "a"; "b"; "c" ]));
+    tc "bcnf detection" (fun () ->
+        check Alcotest.bool "abc in bcnf" true
+          (Normalize.in_bcnf abc_schema.Schema.fds ~sort:[ "a"; "b"; "c" ]));
+    tc "bcnf_decompose splits a violating relation" (fun () ->
+        (* r(a,b,c) with FD b -> c only: b is not a key -> violation *)
+        let at = Schema.attribute in
+        let s =
+          Schema.make
+            ~fds:[ { Schema.fd_rel = "r"; fd_lhs = [ "b" ]; fd_rhs = [ "c" ] } ]
+            [
+              Schema.relation "r"
+                [ at ~domain:"da" "a"; at ~domain:"db" "b"; at ~domain:"dc" "c" ];
+            ]
+        in
+        match Normalize.bcnf_decompose s "r" with
+        | None -> Alcotest.fail "expected a decomposition"
+        | Some op ->
+            (* the decomposition must be applicable and invertible *)
+            let s' = Transform.apply_schema s [ op ] in
+            check Alcotest.bool "two parts" true (List.length s'.Schema.relations = 2);
+            (* instances transform losslessly *)
+            let inst = Instance.create s in
+            List.iter
+              (fun (a, b) ->
+                Instance.add_list inst "r"
+                  [
+                    Value.str (Printf.sprintf "a%d" a);
+                    Value.str (Printf.sprintf "b%d" b);
+                    Value.str (Printf.sprintf "c%d" (b mod 2));
+                  ])
+              [ (1, 1); (2, 1); (3, 2); (4, 3) ];
+            check Alcotest.bool "roundtrip" true (Transform.round_trips inst [ op ]));
+    tc "bcnf_decompose returns None on BCNF relations" (fun () ->
+        check Alcotest.bool "none" true (Normalize.bcnf_decompose abc_schema "r" = None));
+    tc "compose_advisor proposes the UW-CSE compositions" (fun () ->
+        let ds = Castor_datasets.Uwcse.generate () in
+        let props = Normalize.compose_advisor ds.Castor_datasets.Dataset.schema in
+        (* the student class composes student/inPhase/yearsInProgram *)
+        check Alcotest.bool "student composition proposed" true
+          (List.exists
+             (function
+               | Transform.Compose { parts; _ } ->
+                   List.mem "student" parts && List.mem "inPhase" parts
+                   && List.mem "yearsInProgram" parts
+               | Transform.Decompose _ -> false)
+             props);
+        (* each proposal is actually applicable to the instance *)
+        List.iter
+          (fun op ->
+            check Alcotest.bool "applies and round-trips" true
+              (Transform.round_trips ds.Castor_datasets.Dataset.instance [ op ]))
+          props);
+  ]
+
+let suite = discovery_suite @ normalize_suite

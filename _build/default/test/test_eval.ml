@@ -1,0 +1,149 @@
+(* Tests for the evaluation harness: metrics, folds, experiment runner,
+   report rendering. *)
+
+open Castor_logic
+open Castor_datasets
+open Castor_eval
+open Helpers
+
+let metrics_suite =
+  [
+    tc "of_counts computes precision and recall" (fun () ->
+        let m = Metrics.of_counts ~tp:8 ~fp:2 ~pos_total:16 in
+        check (Alcotest.float 1e-9) "precision" 0.8 m.Metrics.precision;
+        check (Alcotest.float 1e-9) "recall" 0.5 m.Metrics.recall);
+    tc "empty coverage gives zero precision" (fun () ->
+        let m = Metrics.of_counts ~tp:0 ~fp:0 ~pos_total:5 in
+        check (Alcotest.float 1e-9) "precision" 0. m.Metrics.precision);
+    tc "average of metrics" (fun () ->
+        let m1 = Metrics.of_counts ~tp:1 ~fp:0 ~pos_total:1 in
+        let m2 = Metrics.of_counts ~tp:0 ~fp:1 ~pos_total:1 in
+        let a = Metrics.average [ m1; m2 ] in
+        check (Alcotest.float 1e-9) "precision" 0.5 a.Metrics.precision);
+    tc "f1 harmonic mean" (fun () ->
+        let m = { Metrics.precision = 0.5; recall = 1.0 } in
+        check (Alcotest.float 1e-6) "f1" (2. /. 3.) (Metrics.f1 m));
+  ]
+
+let experiment_suite =
+  [
+    tc "fold_indices partition and are disjoint" (fun () ->
+        let folds = Experiment.fold_indices ~seed:3 5 23 in
+        check Alcotest.int "five" 5 (List.length folds);
+        List.iter
+          (fun (train, test) ->
+            check Alcotest.int "partition" 23 (Array.length train + Array.length test);
+            Array.iter
+              (fun i -> check Alcotest.bool "disjoint" false (Array.mem i train))
+              test)
+          folds);
+    tc "prepare materializes the variant" (fun () ->
+        let ds = Family.generate () in
+        let prep = Experiment.prepare ds "composed" in
+        check Alcotest.string "name" "composed" prep.Experiment.pvariant.Dataset.variant_name;
+        check Alcotest.int "saturations for all positives"
+          (Array.length ds.Dataset.examples.Castor_ilp.Examples.pos)
+          (Castor_ilp.Coverage.length prep.Experiment.all_pos));
+    tc "crossval produces sane metrics for Castor on family" (fun () ->
+        let ds = Family.generate () in
+        let prep = Experiment.prepare ds "base" in
+        let row = Experiment.crossval ~folds:3 prep (Algos.castor ()) in
+        check Alcotest.bool "precision ≥ 0.9" true
+          (row.Experiment.metrics.Metrics.precision >= 0.9);
+        check Alcotest.bool "recall ≥ 0.9" true
+          (row.Experiment.metrics.Metrics.recall >= 0.9));
+    tc "signature length covers all examples" (fun () ->
+        let ds = Family.generate () in
+        let prep = Experiment.prepare ds "base" in
+        let def = Experiment.train_full prep (Algos.castor ()) in
+        let s = Experiment.signature prep def in
+        check Alcotest.int "length"
+          (Array.length ds.Dataset.examples.Castor_ilp.Examples.pos
+          + Array.length ds.Dataset.examples.Castor_ilp.Examples.neg)
+          (Array.length s));
+    tc "train_full returns a definition over the variant's schema" (fun () ->
+        let ds = Family.generate () in
+        let prep = Experiment.prepare ds "composed" in
+        let def = Experiment.train_full prep (Algos.castor ()) in
+        let rels =
+          List.map
+            (fun (r : Castor_relational.Schema.relation) -> r.Castor_relational.Schema.rname)
+            prep.Experiment.pvariant.Dataset.vschema.Castor_relational.Schema.relations
+        in
+        check Alcotest.bool "uses variant relations" true
+          (List.for_all
+             (fun c ->
+               List.for_all
+                 (fun (a : Atom.t) -> List.mem a.Atom.rel rels)
+                 c.Clause.body)
+             def.Clause.clauses));
+  ]
+
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+let report_suite =
+  [
+    tc "table renders algorithm rows and schema columns" (fun () ->
+        let ds = Family.generate () in
+        let prep = Experiment.prepare ds "base" in
+        let row = Experiment.crossval ~folds:2 prep (Algos.castor ()) in
+        let text = Report.table ~title:"T" [ row ] in
+        check Alcotest.bool "has algo" true (contains text "Castor");
+        check Alcotest.bool "has schema" true (contains text "base");
+        check Alcotest.bool "has metric" true (contains text "Precision"));
+    tc "series renders x labels and values" (fun () ->
+        let text =
+          Report.series ~title:"S" ~xlabel:"threads"
+            [ ("1", [ ("t", 1.5) ]); ("2", [ ("t", 0.9) ]) ]
+        in
+        check Alcotest.bool "xlabel" true (contains text "threads");
+        check Alcotest.bool "value" true (contains text "1.500"));
+  ]
+
+let positive_only_suite =
+  [
+    tc "positive-only Castor recovers grandparent" (fun () ->
+        let ds = Family.generate () in
+        let eval_prep = Experiment.prepare ds "base" in
+        let po = Experiment.prepare_positive_only ds "base" in
+        let def =
+          Experiment.train_full po
+            (Algos.castor
+               ~params:{ Castor_core.Castor.default_params with safe = true }
+               ())
+        in
+        check Alcotest.bool "safe clauses" true
+          (List.for_all Clause.is_safe def.Clause.clauses);
+        let n_pos = Castor_ilp.Coverage.length eval_prep.Experiment.all_pos in
+        let n_neg = Castor_ilp.Coverage.length eval_prep.Experiment.all_neg in
+        let m =
+          Experiment.test_metrics eval_prep def
+            (Array.init n_pos Fun.id, Array.init n_neg Fun.id)
+        in
+        check Alcotest.bool "precision ≥ 0.9 vs true labels" true
+          (m.Metrics.precision >= 0.9);
+        check Alcotest.bool "recall ≥ 0.9" true (m.Metrics.recall >= 0.9));
+    tc "dataset export/import round trip" (fun () ->
+        let ds = Family.generate () in
+        let dir = Filename.temp_file "castor" "" in
+        Sys.remove dir;
+        Dataset.export ds dir;
+        let ds' = Dataset.import ~name:"reimported" dir in
+        check Alcotest.bool "same instance" true
+          (Castor_relational.Instance.equal ds.Dataset.instance ds'.Dataset.instance);
+        check Alcotest.int "same #pos"
+          (Array.length ds.Dataset.examples.Castor_ilp.Examples.pos)
+          (Array.length ds'.Dataset.examples.Castor_ilp.Examples.pos);
+        check Alcotest.int "same #neg"
+          (Array.length ds.Dataset.examples.Castor_ilp.Examples.neg)
+          (Array.length ds'.Dataset.examples.Castor_ilp.Examples.neg);
+        (* learning from the reimported dataset still works *)
+        let prep = Experiment.prepare ds' "base" in
+        let def = Experiment.train_full prep (Algos.castor ()) in
+        check Alcotest.bool "learns" true (def.Clause.clauses <> []));
+  ]
+
+let suite = metrics_suite @ experiment_suite @ report_suite @ positive_only_suite

@@ -1,0 +1,369 @@
+(* Tests for the ILP substrate: examples, bottom clauses, coverage,
+   parallel map, scoring, the covering loop, armg, negative
+   reduction. *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+open Helpers
+
+let v s = Term.Var s
+
+let k s = Term.Const (Value.str s)
+
+(* family fixture *)
+let family = Castor_datasets.Family.generate ()
+
+let family_inst = family.Castor_datasets.Dataset.instance
+
+let first_pos = family.Castor_datasets.Dataset.examples.Examples.pos.(0)
+
+(* ------------------------------ examples --------------------------- *)
+
+let examples_suite =
+  [
+    tc "folds partition the data" (fun () ->
+        let ex = family.Castor_datasets.Dataset.examples in
+        let folds = Examples.folds ~seed:1 5 ex in
+        check Alcotest.int "five folds" 5 (List.length folds);
+        List.iter
+          (fun (train, test) ->
+            check Alcotest.int "pos partition" (Examples.n_pos ex)
+              (Examples.n_pos train + Examples.n_pos test);
+            check Alcotest.int "neg partition" (Examples.n_neg ex)
+              (Examples.n_neg train + Examples.n_neg test))
+          folds);
+    tc "subsample bounds sizes" (fun () ->
+        let ex = family.Castor_datasets.Dataset.examples in
+        let s = Examples.subsample ~seed:2 ~pos:5 ~neg:7 ex in
+        check Alcotest.int "pos" 5 (Examples.n_pos s);
+        check Alcotest.int "neg" 7 (Examples.n_neg s));
+    qt ~count:20 "shuffle permutes" QCheck2.Gen.(int_range 1 50) (fun n ->
+        let rng = Random.State.make [| n |] in
+        let arr = Array.init n (fun i -> i) in
+        let sh = Examples.shuffle rng arr in
+        List.sort compare (Array.to_list sh) = List.init n Fun.id);
+    tc "closed-world negatives avoid the positives" (fun () ->
+        let ds = family in
+        let neg =
+          Examples.closed_world_negatives ~seed:5 family_inst
+            ds.Castor_datasets.Dataset.target
+            ds.Castor_datasets.Dataset.examples.Examples.pos
+        in
+        check Alcotest.bool "nonempty" true (Array.length neg > 0);
+        Array.iter
+          (fun n ->
+            check Alcotest.bool "not positive" false
+              (Array.exists (Atom.equal n)
+                 ds.Castor_datasets.Dataset.examples.Examples.pos);
+            check Alcotest.string "target relation"
+              ds.Castor_datasets.Dataset.target.Castor_relational.Schema.rname
+              n.Atom.rel)
+          neg);
+    tc "closed-world negatives respect the ratio" (fun () ->
+        let ds = family in
+        let pos = ds.Castor_datasets.Dataset.examples.Examples.pos in
+        let neg =
+          Examples.closed_world_negatives ~seed:5 ~ratio:3 family_inst
+            ds.Castor_datasets.Dataset.target pos
+        in
+        check Alcotest.int "3x" (3 * Array.length pos) (Array.length neg));
+  ]
+
+(* ---------------------------- bottom clause ------------------------- *)
+
+let bottom_suite =
+  [
+    tc "saturation head is the example" (fun () ->
+        let sat = Bottom.saturation ~params:Bottom.default_params family_inst first_pos in
+        check Alcotest.bool "head" true (Atom.equal sat.Clause.head first_pos));
+    tc "saturation body is ground" (fun () ->
+        let sat = Bottom.saturation ~params:Bottom.default_params family_inst first_pos in
+        check Alcotest.bool "ground" true (List.for_all Atom.is_ground sat.Clause.body));
+    tc "depth 0 gives empty body" (fun () ->
+        let sat =
+          Bottom.saturation
+            ~params:{ Bottom.default_params with depth = 0 }
+            family_inst first_pos
+        in
+        check Alcotest.int "empty" 0 (Clause.length sat));
+    tc "deeper saturations contain shallower ones" (fun () ->
+        let p d = { Bottom.default_params with depth = d } in
+        let s1 = Bottom.saturation ~params:(p 1) family_inst first_pos in
+        let s2 = Bottom.saturation ~params:(p 2) family_inst first_pos in
+        check Alcotest.bool "monotone" true
+          (List.for_all
+             (fun a -> List.exists (Atom.equal a) s2.Clause.body)
+             s1.Clause.body));
+    tc "max_terms budget caps constants" (fun () ->
+        let sat =
+          Bottom.saturation
+            ~params:{ Bottom.default_params with max_terms = Some 8; depth = 5 }
+            family_inst first_pos
+        in
+        let consts =
+          List.fold_left
+            (fun acc a -> List.fold_left (fun acc c -> Value.Set.add c acc) acc (Atom.constants a))
+            Value.Set.empty sat.Clause.body
+        in
+        (* budget is checked between iterations, so a modest overshoot
+           within the last iteration is allowed *)
+        check Alcotest.bool "bounded" true (Value.Set.cardinal consts < 40));
+    tc "no_expand_domains keeps attribute constants off the frontier" (fun () ->
+        let with_filter =
+          Bottom.saturation
+            ~params:
+              { Bottom.default_params with no_expand_domains = [ "gender"; "age" ] }
+            family_inst first_pos
+        in
+        let without =
+          Bottom.saturation ~params:Bottom.default_params family_inst first_pos
+        in
+        check Alcotest.bool "filtered is smaller" true
+          (Clause.length with_filter <= Clause.length without));
+    tc "variabilize keeps const_domains constants (Example 6.5)" (fun () ->
+        let params =
+          { Bottom.default_params with const_domains = [ "gender"; "age" ] }
+        in
+        let bc = Bottom.bottom_clause ~params family_inst first_pos in
+        (* gender literals keep their constant second argument *)
+        check Alcotest.bool "has gender constant" true
+          (List.exists
+             (fun (a : Atom.t) ->
+               String.equal a.Atom.rel "gender" && Term.is_const a.Atom.args.(1))
+             bc.Clause.body));
+    tc "bottom clause subsumes its own saturation" (fun () ->
+        let params = Bottom.default_params in
+        let sat = Bottom.saturation ~params family_inst first_pos in
+        let bc = Bottom.bottom_clause ~params family_inst first_pos in
+        check Alcotest.bool "covers seed" true (Subsume.subsumes bc sat));
+    tc "expand hook literals are admitted" (fun () ->
+        (* chase hook that injects a marker tuple for every parent tuple *)
+        let expand rel _tu =
+          if String.equal rel "parent" then
+            [ ("gender", Tuple.of_list [ Value.str "marker"; Value.str "male" ]) ]
+          else []
+        in
+        let sat =
+          Bottom.saturation ~expand ~params:Bottom.default_params family_inst first_pos
+        in
+        check Alcotest.bool "marker admitted" true
+          (List.exists
+             (fun (a : Atom.t) ->
+               String.equal a.Atom.rel "gender"
+               && Term.equal a.Atom.args.(0) (k "marker"))
+             sat.Clause.body));
+  ]
+
+(* ------------------------------ coverage ---------------------------- *)
+
+let coverage_fixture () =
+  let ex = family.Castor_datasets.Dataset.examples in
+  Coverage.build ~params:Bottom.default_params family_inst ex.Examples.pos
+
+let grandparent_clause =
+  Clause.make
+    (Atom.make "grandparent" [ v "x"; v "z" ])
+    [ Atom.make "parent" [ v "x"; v "y" ]; Atom.make "parent" [ v "y"; v "z" ] ]
+
+let coverage_suite =
+  [
+    tc "golden clause covers every positive" (fun () ->
+        let cov = coverage_fixture () in
+        check Alcotest.int "all covered" (Coverage.length cov)
+          (Coverage.covered_count cov grandparent_clause));
+    tc "golden clause covers no negative" (fun () ->
+        let ex = family.Castor_datasets.Dataset.examples in
+        let ncov = Coverage.build ~params:Bottom.default_params family_inst ex.Examples.neg in
+        check Alcotest.int "none covered" 0 (Coverage.covered_count ncov grandparent_clause));
+    tc "cache returns stable vectors" (fun () ->
+        let cov = coverage_fixture () in
+        let v1 = Coverage.vector cov grandparent_clause in
+        let v2 = Coverage.vector cov grandparent_clause in
+        check Alcotest.bool "equal" true (v1 = v2));
+    tc "within restricts testing" (fun () ->
+        let cov = coverage_fixture () in
+        Coverage.set_cache cov false;
+        let mask = Array.make (Coverage.length cov) false in
+        let v = Coverage.vector ~within:mask cov grandparent_clause in
+        check Alcotest.int "nothing" 0 (Coverage.count v));
+    tc "assume short-circuits to true" (fun () ->
+        let cov = coverage_fixture () in
+        Coverage.set_cache cov false;
+        let known = Array.make (Coverage.length cov) true in
+        let bogus = Clause.make (Atom.make "grandparent" [ v "x"; v "y" ])
+            [ Atom.make "parent" [ v "x"; v "x" ] ] in
+        let vec = Coverage.vector ~assume:known cov bogus in
+        check Alcotest.int "all assumed" (Coverage.length cov) (Coverage.count vec));
+    tc "sub shares saturations" (fun () ->
+        let cov = coverage_fixture () in
+        let sub = Coverage.sub cov [| 0; 2; 4 |] in
+        check Alcotest.int "three" 3 (Coverage.length sub);
+        check Alcotest.bool "same bottoms" true
+          (sub.Coverage.bottoms.(1) == cov.Coverage.bottoms.(2)));
+  ]
+
+(* ------------------------------ parallel ---------------------------- *)
+
+let parallel_suite =
+  [
+    tc "init equals sequential map" (fun () ->
+        let f i = (i * 7) mod 13 in
+        check Alcotest.(array int) "same" (Array.init 100 f)
+          (Parallel.init ~domains:4 100 f));
+    tc "tiny arrays run sequentially" (fun () ->
+        check Alcotest.(array int) "same" (Array.init 3 Fun.id)
+          (Parallel.init ~domains:8 3 Fun.id));
+    qt ~count:20 "map equals Array.map" QCheck2.Gen.(list_size (int_bound 40) (int_bound 100))
+      (fun l ->
+        let arr = Array.of_list l in
+        Parallel.map ~domains:3 (fun x -> x * x) arr = Array.map (fun x -> x * x) arr);
+  ]
+
+(* ------------------------------ scoring ----------------------------- *)
+
+let scoring_suite =
+  [
+    tc "precision and acceptance thresholds" (fun () ->
+        let s = { Scoring.pos_covered = 8; neg_covered = 4 } in
+        check (Alcotest.float 1e-9) "precision" (8. /. 12.) (Scoring.precision s);
+        check Alcotest.bool "not acceptable at 0.67" false
+          (Scoring.acceptable ~min_precision:0.67 ~minpos:2 s);
+        check Alcotest.bool "acceptable at 0.5" true
+          (Scoring.acceptable ~min_precision:0.5 ~minpos:2 s));
+    tc "coverage and compression" (fun () ->
+        let s = { Scoring.pos_covered = 10; neg_covered = 3 } in
+        check Alcotest.int "coverage" 7 (Scoring.coverage s);
+        check Alcotest.int "compression" 5 (Scoring.compression ~len:2 s));
+    tc "foil gain positive for purifying literal" (fun () ->
+        let before = { Scoring.pos_covered = 10; neg_covered = 10 } in
+        let after = { Scoring.pos_covered = 8; neg_covered = 1 } in
+        check Alcotest.bool "gain > 0" true (Scoring.foil_gain ~before ~after > 0.));
+    tc "foil gain zero when proportions unchanged" (fun () ->
+        let before = { Scoring.pos_covered = 8; neg_covered = 8 } in
+        let after = { Scoring.pos_covered = 4; neg_covered = 4 } in
+        check (Alcotest.float 1e-9) "zero" 0. (Scoring.foil_gain ~before ~after));
+  ]
+
+(* --------------------------- covering loop -------------------------- *)
+
+let covering_suite =
+  [
+    tc "covering loop stops when all positives are covered" (fun () ->
+        let calls = ref 0 in
+        let learn_clause uncovered =
+          incr calls;
+          (* one clause covering everything *)
+          Some (grandparent_clause, Array.map (fun _ -> true) uncovered)
+        in
+        let out = Covering.run ~target:"t" ~learn_clause 10 in
+        check Alcotest.int "one call" 1 !calls;
+        check Alcotest.int "one clause" 1 (List.length out.Covering.definition.Clause.clauses);
+        check Alcotest.int "none left" 0 out.Covering.uncovered_pos);
+    tc "covering loop stops on no progress" (fun () ->
+        let learn_clause uncovered =
+          (* claims a clause but covers nothing new *)
+          Some (grandparent_clause, Array.map (fun _ -> false) uncovered)
+        in
+        let out = Covering.run ~target:"t" ~learn_clause 5 in
+        check Alcotest.int "no clause kept" 0
+          (List.length out.Covering.definition.Clause.clauses));
+    tc "covering loop respects max_clauses" (fun () ->
+        let i = ref 0 in
+        let learn_clause uncovered =
+          incr i;
+          (* each clause covers exactly one new positive *)
+          let vec = Array.make (Array.length uncovered) false in
+          if !i - 1 < Array.length vec then vec.(!i - 1) <- true;
+          Some (grandparent_clause, vec)
+        in
+        let out = Covering.run ~target:"t" ~learn_clause ~max_clauses:3 10 in
+        check Alcotest.int "capped" 3 (List.length out.Covering.definition.Clause.clauses);
+        check Alcotest.int "seven left" 7 out.Covering.uncovered_pos);
+  ]
+
+(* ------------------------------- armg ------------------------------- *)
+
+let armg_suite =
+  [
+    tc "armg output covers the target example" (fun () ->
+        let cov = coverage_fixture () in
+        let bc =
+          Bottom.bottom_clause ~params:Bottom.default_params family_inst first_pos
+        in
+        match Armg.generalize cov bc 1 with
+        | None -> Alcotest.fail "expected a generalization"
+        | Some g -> check Alcotest.bool "covers e1" true (Coverage.covers cov g 1));
+    tc "armg only removes literals" (fun () ->
+        let cov = coverage_fixture () in
+        let bc =
+          Bottom.bottom_clause ~params:Bottom.default_params family_inst first_pos
+        in
+        match Armg.generalize cov bc 2 with
+        | None -> Alcotest.fail "expected a generalization"
+        | Some g ->
+            check Alcotest.bool "subset of bottom" true
+              (List.for_all
+                 (fun l -> List.exists (fun l' -> l == l' || Atom.equal l l') bc.Clause.body)
+                 g.Clause.body));
+    tc "armg keeps coverage of already-covered example" (fun () ->
+        let cov = coverage_fixture () in
+        let bc =
+          Bottom.bottom_clause ~params:Bottom.default_params family_inst first_pos
+        in
+        match Armg.generalize cov bc 3 with
+        | None -> Alcotest.fail "expected"
+        | Some g -> check Alcotest.bool "still covers seed" true (Coverage.covers cov g 0));
+  ]
+
+(* -------------------------- negative reduction ---------------------- *)
+
+let negreduce_suite =
+  [
+    tc "plain reduction drops junk without increasing negatives" (fun () ->
+        let ex = family.Castor_datasets.Dataset.examples in
+        let ncov = Coverage.build ~params:Bottom.default_params family_inst ex.Examples.neg in
+        let junky =
+          {
+            grandparent_clause with
+            Clause.body =
+              grandparent_clause.Clause.body
+              @ [ Atom.make "gender" [ v "x"; v "g" ] ];
+          }
+        in
+        let baseline = Coverage.covered_count ncov junky in
+        let red = Negreduce.reduce ncov junky in
+        check Alcotest.bool "shorter or equal" true (Clause.length red <= Clause.length junky);
+        check Alcotest.bool "negatives not increased" true
+          (Coverage.covered_count ncov red <= baseline));
+    tc "safe reduction keeps head variables bound" (fun () ->
+        let ex = family.Castor_datasets.Dataset.examples in
+        let ncov = Coverage.build ~params:Bottom.default_params family_inst ex.Examples.neg in
+        let red = Negreduce.reduce ~require_safe:true ncov grandparent_clause in
+        check Alcotest.bool "safe" true (Clause.is_safe red));
+  ]
+
+let stats_suite =
+  [
+    tc "stats counters track coverage work" (fun () ->
+        Stats.reset ();
+        let before = Stats.snapshot () in
+        let cov = coverage_fixture () in
+        Coverage.set_cache cov false;
+        ignore (Coverage.vector cov grandparent_clause);
+        ignore (Coverage.vector cov grandparent_clause);
+        let d = Stats.diff (Stats.snapshot ()) before in
+        check Alcotest.int "two vectors" 2 d.Stats.coverage_vectors;
+        check Alcotest.int "tests = 2n" (2 * Coverage.length cov) d.Stats.subsumption_tests;
+        check Alcotest.bool "saturations counted" true (d.Stats.saturations > 0));
+    tc "cache hits are counted" (fun () ->
+        Stats.reset ();
+        let cov = coverage_fixture () in
+        ignore (Coverage.vector cov grandparent_clause);
+        ignore (Coverage.vector cov grandparent_clause);
+        check Alcotest.int "one hit" 1 (Stats.snapshot ()).Stats.cache_hits);
+  ]
+
+let suite =
+  examples_suite @ bottom_suite @ coverage_suite @ parallel_suite
+  @ scoring_suite @ covering_suite @ armg_suite @ negreduce_suite @ stats_suite

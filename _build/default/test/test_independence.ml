@@ -1,0 +1,245 @@
+(* End-to-end schema independence tests — the paper's headline claims.
+
+   For every dataset, Castor's learned definitions must classify every
+   example identically across all (information equivalent) schema
+   variants (Lemmas 7.5, 7.7, 7.8 composed); the building blocks are
+   also checked individually across schemas. FOIL's schema dependence
+   (Theorem 5.1) is pinned as well, as a canary that the experiment
+   is actually discriminating. *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+open Castor_datasets
+open Castor_eval
+open Castor_core
+open Helpers
+
+let signatures ds algo =
+  List.map
+    (fun (vname, _) ->
+      let prep = Experiment.prepare ds vname in
+      let def = Experiment.train_full prep algo in
+      Experiment.signature prep def)
+    ds.Dataset.variants
+
+let castor_si name (ds : Dataset.t) =
+  tc (name ^ ": Castor output is data-equivalent across all variants") (fun () ->
+      match signatures ds (Algos.castor ()) with
+      | [] -> Alcotest.fail "no variants"
+      | s0 :: rest ->
+          List.iteri
+            (fun i s ->
+              check Alcotest.bool (Printf.sprintf "variant %d equals base" (i + 1)) true
+                (s = s0))
+            rest)
+
+(* Lemma 7.5 operational check: Castor saturations over I and τ(I)
+   carry the same information (transform the canonical instance of the
+   saturation and compare ground atom sets). *)
+let saturation_equivalence name (ds : Dataset.t) =
+  tc (name ^ ": Castor bottom clauses are equivalent across variants (Lemma 7.5)")
+    (fun () ->
+      let base_prep = Experiment.prepare ds (fst (List.hd ds.Dataset.variants)) in
+      let examples = base_prep.Experiment.all_pos.Coverage.examples in
+      let n = min 5 (Array.length examples) in
+      List.iter
+        (fun (vname, tr) ->
+          if tr <> [] then begin
+            let prep = Experiment.prepare ds vname in
+            for i = 0 to n - 1 do
+              let sat_base = base_prep.Experiment.all_pos.Coverage.bottoms.(i) in
+              let sat_var = prep.Experiment.all_pos.Coverage.bottoms.(i) in
+              (* canonical instance of the base saturation, mapped by τ *)
+              let canon schema (c : Clause.t) =
+                let inst = Instance.create schema in
+                List.iter
+                  (fun (a : Atom.t) -> Instance.add inst a.Atom.rel (Atom.to_tuple a))
+                  c.Clause.body;
+                inst
+              in
+              let mapped =
+                Transform.apply_instance (canon ds.Dataset.schema sat_base) tr
+              in
+              let atoms inst =
+                List.concat_map
+                  (fun rel ->
+                    List.map
+                      (fun tu -> Atom.to_string (Atom.of_tuple rel tu))
+                      (Instance.tuples inst rel))
+                  (Instance.relation_names inst)
+                |> List.sort_uniq compare
+              in
+              let got = atoms (canon prep.Experiment.pvariant.Dataset.vschema sat_var) in
+              let want = atoms mapped in
+              check Alcotest.(list string)
+                (Printf.sprintf "%s example %d" vname i)
+                want got
+            done
+          end)
+        ds.Dataset.variants)
+
+let fast_suite =
+  let family = Family.generate () in
+  [
+    castor_si "family" family;
+    saturation_equivalence "family" family;
+    tc "family: Castor-safe is also schema independent" (fun () ->
+        let algo =
+          Algos.castor ~params:{ Castor.default_params with safe = true } ()
+        in
+        match signatures family algo with
+        | s0 :: rest -> List.iter (fun s -> check Alcotest.bool "equal" true (s = s0)) rest
+        | [] -> Alcotest.fail "no variants");
+  ]
+
+let uwcse_suite =
+  let uw = Uwcse.generate () in
+  [
+    castor_si "uwcse" uw;
+    saturation_equivalence "uwcse" uw;
+    tc "uwcse: FOIL is schema dependent (Thm 5.1 canary)" (fun () ->
+        match signatures uw (Algos.foil ()) with
+        | s0 :: rest ->
+            check Alcotest.bool "some variant differs" true
+              (List.exists (fun s -> s <> s0) rest)
+        | [] -> Alcotest.fail "no variants");
+    tc "uwcse: Castor armg commutes with τ on coverage (Lemma 7.7)" (fun () ->
+        let prep_a = Experiment.prepare uw "original" in
+        let prep_b = Experiment.prepare uw "4nf" in
+        let setup prep =
+          let n_pos = Coverage.length prep.Experiment.all_pos in
+          let n_neg = Coverage.length prep.Experiment.all_neg in
+          let problem =
+            Experiment.problem_of_fold prep
+              (Array.init n_pos Fun.id, [||])
+              (Array.init n_neg Fun.id, [||])
+              ~seed:17
+          in
+          let plan =
+            Plan.build (Instance.schema problem.Castor_learners.Problem.instance)
+          in
+          (problem, plan)
+        in
+        let pa, plan_a = setup prep_a and pb, plan_b = setup prep_b in
+        let bottom problem plan =
+          let e = problem.Castor_learners.Problem.pos_cov.Coverage.examples.(0) in
+          let params =
+            Castor.bottom_params
+              ~base:problem.Castor_learners.Problem.bottom_params
+              Castor.default_params
+          in
+          Bottom.bottom_clause
+            ~expand:(fun r tu ->
+              Plan.expand plan problem.Castor_learners.Problem.instance r tu)
+            ~params problem.Castor_learners.Problem.instance e
+        in
+        let ba = bottom pa plan_a and bb = bottom pb plan_b in
+        for i = 1 to 6 do
+          let ga =
+            Armg.generalize ~repair:(Ind_repair.repair plan_a)
+              pa.Castor_learners.Problem.pos_cov ba i
+          in
+          let gb =
+            Armg.generalize ~repair:(Ind_repair.repair plan_b)
+              pb.Castor_learners.Problem.pos_cov bb i
+          in
+          match ga, gb with
+          | Some ga, Some gb ->
+              let va = Coverage.vector pa.Castor_learners.Problem.pos_cov ga in
+              let vb = Coverage.vector pb.Castor_learners.Problem.pos_cov gb in
+              check Alcotest.bool (Printf.sprintf "armg(%d) coverage equal" i) true
+                (va = vb)
+          | None, None -> ()
+          | _ -> Alcotest.fail "armg defined on one schema only"
+        done);
+  ]
+
+let imdb_suite =
+  let imdb = Imdb.generate () in
+  [
+    castor_si "imdb" imdb;
+    tc "imdb: Castor finds the exact definition on every variant (Table 11)"
+      (fun () ->
+        List.iter
+          (fun (vname, _) ->
+            let prep = Experiment.prepare imdb vname in
+            let def = Experiment.train_full prep (Algos.castor ()) in
+            let n_pos = Coverage.length prep.Experiment.all_pos in
+            let n_neg = Coverage.length prep.Experiment.all_neg in
+            let m =
+              Experiment.test_metrics prep def
+                (Array.init n_pos Fun.id, Array.init n_neg Fun.id)
+            in
+            check (Alcotest.float 1e-9) (vname ^ " precision") 1. m.Metrics.precision;
+            check (Alcotest.float 1e-9) (vname ^ " recall") 1. m.Metrics.recall)
+          imdb.Dataset.variants);
+  ]
+
+let hiv_suite =
+  let hiv = Hiv.generate () in
+  [
+    castor_si "hiv" hiv;
+    tc "hiv: Castor metrics match across schemas while Aleph's vary (Table 9)"
+      (fun () ->
+        let metrics algo =
+          List.map
+            (fun (vname, _) ->
+              let prep = Experiment.prepare hiv vname in
+              let def = Experiment.train_full prep algo in
+              let n_pos = Coverage.length prep.Experiment.all_pos in
+              let n_neg = Coverage.length prep.Experiment.all_neg in
+              Experiment.test_metrics prep def
+                (Array.init n_pos Fun.id, Array.init n_neg Fun.id))
+            hiv.Dataset.variants
+        in
+        (match metrics (Algos.castor ()) with
+        | m0 :: rest ->
+            List.iter
+              (fun m ->
+                check (Alcotest.float 1e-9) "precision equal" m0.Metrics.precision
+                  m.Metrics.precision;
+                check (Alcotest.float 1e-9) "recall equal" m0.Metrics.recall
+                  m.Metrics.recall)
+              rest
+        | [] -> Alcotest.fail "no variants"));
+  ]
+
+let collaborated_suite =
+  let ds = Uwcse.collaborated (Uwcse.generate ()) in
+  [
+    tc "Example 3.2: the collaborated golden definition separates the examples"
+      (fun () ->
+        match ds.Dataset.golden with
+        | None -> Alcotest.fail "golden"
+        | Some g ->
+            let inst = ds.Dataset.instance in
+            Array.iter
+              (fun e ->
+                check Alcotest.bool "covers positive" true
+                  (Eval.definition_covers inst g e))
+              ds.Dataset.examples.Examples.pos;
+            Array.iter
+              (fun e ->
+                check Alcotest.bool "rejects negative" false
+                  (Eval.definition_covers inst g e))
+              ds.Dataset.examples.Examples.neg);
+    tc "Example 3.2: Castor learns collaborated exactly, on every schema"
+      (fun () ->
+        List.iter
+          (fun vname ->
+            let prep = Experiment.prepare ds vname in
+            let def = Experiment.train_full prep (Algos.castor ()) in
+            let n_pos = Coverage.length prep.Experiment.all_pos in
+            let n_neg = Coverage.length prep.Experiment.all_neg in
+            let m =
+              Experiment.test_metrics prep def
+                (Array.init n_pos Fun.id, Array.init n_neg Fun.id)
+            in
+            check (Alcotest.float 1e-9) (vname ^ " precision") 1. m.Metrics.precision;
+            check (Alcotest.float 1e-9) (vname ^ " recall") 1. m.Metrics.recall)
+          [ "original"; "4nf"; "denorm2" ]);
+  ]
+
+let suite =
+  fast_suite @ uwcse_suite @ imdb_suite @ hiv_suite @ collaborated_suite

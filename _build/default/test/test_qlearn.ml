@@ -1,0 +1,209 @@
+(* Tests for the query-based learning machinery: oracle semantics and
+   the A2 learner (Section 8). *)
+
+open Castor_relational
+open Castor_logic
+open Castor_qlearn
+open Helpers
+
+let v s = Term.Var s
+
+let k s = Term.Const (Value.str s)
+
+let co_pub =
+  {
+    Clause.target = "collab";
+    clauses =
+      [
+        Clause.make
+          (Atom.make "collab" [ v "x"; v "y" ])
+          [ Atom.make "publication" [ v "p"; v "x" ]; Atom.make "publication" [ v "p"; v "y" ] ];
+      ];
+  }
+
+let oracle_suite =
+  [
+    tc "membership accepts entailed ground clauses" (fun () ->
+        let o = Oracle.make co_pub in
+        let gc =
+          Clause.make
+            (Atom.make "collab" [ k "a"; k "b" ])
+            [
+              Atom.make "publication" [ k "t"; k "a" ];
+              Atom.make "publication" [ k "t"; k "b" ];
+              Atom.make "publication" [ k "u"; k "a" ];
+            ]
+        in
+        check Alcotest.bool "yes" true (Oracle.membership o gc));
+    tc "membership rejects non-entailed ground clauses" (fun () ->
+        let o = Oracle.make co_pub in
+        let gc =
+          Clause.make
+            (Atom.make "collab" [ k "a"; k "b" ])
+            [
+              Atom.make "publication" [ k "t"; k "a" ];
+              Atom.make "publication" [ k "u"; k "b" ];
+            ]
+        in
+        check Alcotest.bool "no" false (Oracle.membership o gc));
+    tc "equivalence accepts the target itself" (fun () ->
+        let o = Oracle.make co_pub in
+        check Alcotest.bool "correct" true (Oracle.equivalence o co_pub = Oracle.Correct));
+    tc "equivalence returns a positive counterexample for empty hypothesis" (fun () ->
+        let o = Oracle.make co_pub in
+        match Oracle.equivalence o { Clause.target = "collab"; clauses = [] } with
+        | Oracle.Positive_counterexample gc ->
+            check Alcotest.bool "ground" true (List.for_all Atom.is_ground gc.Clause.body);
+            check Alcotest.bool "entailed" true (Oracle.membership o gc)
+        | _ -> Alcotest.fail "expected positive counterexample");
+    tc "query counters increment" (fun () ->
+        let o = Oracle.make co_pub in
+        ignore (Oracle.equivalence o co_pub);
+        ignore (Oracle.membership o (Oracle.ground o (List.hd co_pub.Clause.clauses)));
+        check Alcotest.(pair int int) "counts" (1, 1) (Oracle.counts o));
+    tc "ground skolemizes consistently" (fun () ->
+        let o = Oracle.make co_pub in
+        let gc = Oracle.ground o (List.hd co_pub.Clause.clauses) in
+        check Alcotest.bool "ground" true (List.for_all Atom.is_ground gc.Clause.body);
+        (* the shared variable p maps to one skolem constant *)
+        match gc.Clause.body with
+        | [ a1; a2 ] -> check Alcotest.bool "shared skolem" true (Term.equal a1.Atom.args.(0) a2.Atom.args.(0))
+        | _ -> Alcotest.fail "two literals");
+  ]
+
+let a2_suite =
+  [
+    tc "A2 recovers the co-publication definition" (fun () ->
+        let o = Oracle.make co_pub in
+        let r = A2.learn ~target_name:"collab" o in
+        check Alcotest.bool "converged" true r.A2.converged;
+        check Alcotest.bool "equivalent" true
+          (Subsume.definition_equivalent r.A2.hypothesis co_pub));
+    tc "A2 recovers a two-clause definition" (fun () ->
+        let def =
+          {
+            Clause.target = "t";
+            clauses =
+              [
+                Clause.make (Atom.make "t" [ v "x" ]) [ Atom.make "s" [ v "x" ] ];
+                Clause.make (Atom.make "t" [ v "x" ])
+                  [ Atom.make "p" [ v "x"; v "y" ]; Atom.make "q" [ v "y"; v "x" ] ];
+              ];
+          }
+        in
+        let o = Oracle.make def in
+        let r = A2.learn ~target_name:"t" o in
+        check Alcotest.bool "converged" true r.A2.converged;
+        check Alcotest.bool "equivalent" true (Subsume.definition_equivalent r.A2.hypothesis def));
+    tc "A2 on random UW-CSE targets converges" (fun () ->
+        let ds = Castor_datasets.Uwcse.generate () in
+        let schema =
+          Transform.apply_schema ds.Castor_datasets.Dataset.schema
+            Castor_datasets.Uwcse.to_denorm2
+        in
+        for seed = 1 to 10 do
+          let def =
+            Gen.random_definition
+              ~rng:(Random.State.make [| seed |])
+              ~schema ~target_name:"t" ~n_clauses:2 ~n_vars:5 ()
+          in
+          let o = Oracle.make def in
+          let r = A2.learn ~target_name:"t" o in
+          check Alcotest.bool (Printf.sprintf "seed %d converged" seed) true r.A2.converged
+        done);
+    tc "decomposed schema costs more MQs (Fig 3 shape)" (fun () ->
+        let ds = Castor_datasets.Uwcse.generate () in
+        let base = ds.Castor_datasets.Dataset.schema in
+        let denorm2 = Transform.apply_schema base Castor_datasets.Uwcse.to_denorm2 in
+        let inv = Transform.inverse base Castor_datasets.Uwcse.to_denorm2 in
+        let total ops =
+          let t = ref 0 in
+          for seed = 1 to 12 do
+            let def =
+              Gen.random_definition
+                ~rng:(Random.State.make [| seed |])
+                ~schema:denorm2 ~target_name:"t" ~n_clauses:2 ~n_vars:6 ()
+            in
+            let def = Rewrite.definition denorm2 ops def in
+            let o = Oracle.make def in
+            let r = A2.learn ~target_name:"t" o in
+            t := !t + r.A2.mqs
+          done;
+          !t
+        in
+        let mq_denorm2 = total [] in
+        let mq_original = total inv in
+        check Alcotest.bool "decomposition raises MQ cost" true (mq_original > mq_denorm2));
+  ]
+
+let gen_suite =
+  [
+    tc "random definitions have covered head variables" (fun () ->
+        let ds = Castor_datasets.Uwcse.generate () in
+        for seed = 1 to 20 do
+          let def =
+            Gen.random_definition
+              ~rng:(Random.State.make [| seed |])
+              ~schema:ds.Castor_datasets.Dataset.schema ~target_name:"t" ~n_clauses:3
+              ~n_vars:6 ()
+          in
+          check Alcotest.int "clauses" 3 (List.length def.Clause.clauses);
+          List.iter
+            (fun c -> check Alcotest.bool "safe" true (Clause.is_safe c))
+            def.Clause.clauses
+        done);
+    tc "random definitions contain no constants" (fun () ->
+        let ds = Castor_datasets.Uwcse.generate () in
+        let def =
+          Gen.random_definition
+            ~rng:(Random.State.make [| 3 |])
+            ~schema:ds.Castor_datasets.Dataset.schema ~target_name:"t" ~n_clauses:2
+            ~n_vars:5 ()
+        in
+        check Alcotest.bool "no constants" true
+          (List.for_all
+             (fun c ->
+               List.for_all (fun (a : Atom.t) -> Atom.constants a = []) c.Clause.body)
+             def.Clause.clauses));
+  ]
+
+let bounds_suite =
+  [
+    tc "bounds extract schema parameters" (fun () ->
+        let ds = Castor_datasets.Uwcse.generate () in
+        let sp = Bounds.of_schema ds.Castor_datasets.Dataset.schema in
+        check Alcotest.int "p = #relations" 10 sp.Bounds.p;
+        check Alcotest.int "a = max arity" 3 sp.Bounds.a);
+    tc "upper bound dominates lower bound on one schema" (fun () ->
+        let ds = Castor_datasets.Uwcse.generate () in
+        let sp = Bounds.of_schema ds.Castor_datasets.Dataset.schema in
+        check Alcotest.bool "lower <= upper" true
+          (Bounds.log_lower ~m:2 ~k:6 sp <= Bounds.log_upper ~m:2 ~k:6 ~n:10 sp));
+    tc "Theorem 8.1 separation on a wide-vs-binary decomposition" (fun () ->
+        (* R(A1..A20) vs its decomposition into 19 binary relations:
+           with the variable budget k fixed and the arity a > 3k + 2,
+           the lower bound over R exceeds the upper bound over the
+           decomposition ("sufficiently large k and a" in the proof) *)
+        let at = Castor_relational.Schema.attribute in
+        let wide =
+          Castor_relational.Schema.make
+            [
+              Castor_relational.Schema.relation "r"
+                (List.init 20 (fun i -> at ~domain:"d" (Printf.sprintf "a%d" i)));
+            ]
+        in
+        let narrow =
+          Castor_relational.Schema.make
+            (List.init 19 (fun i ->
+                 Castor_relational.Schema.relation
+                   (Printf.sprintf "s%d" i)
+                   [ at ~domain:"d" "a0"; at ~domain:"d" (Printf.sprintf "a%d" (i + 1)) ]))
+        in
+        check Alcotest.bool "crossover" true
+          (Bounds.crossover ~m:1 ~k:5 ~n:10 wide narrow);
+        (* and no crossover in the other direction *)
+        check Alcotest.bool "no reverse crossover" false
+          (Bounds.crossover ~m:1 ~k:5 ~n:10 narrow wide));
+  ]
+
+let suite = oracle_suite @ a2_suite @ gen_suite @ bounds_suite

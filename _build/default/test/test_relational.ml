@@ -1,0 +1,198 @@
+(* Tests for the relational substrate: values, tuples, schemas,
+   instances, algebra, hypergraph acyclicity. *)
+
+open Castor_relational
+open Helpers
+
+(* ------------------------------ Value ------------------------------ *)
+
+let value_suite =
+  [
+    tc "compare orders ints before strings" (fun () ->
+        check Alcotest.bool "int < str" true (Value.compare (Value.int 5) (Value.str "a") < 0));
+    tc "equal on same string" (fun () ->
+        check Alcotest.bool "eq" true (Value.equal (Value.str "x") (Value.str "x")));
+    tc "to_string" (fun () ->
+        check Alcotest.string "int" "42" (Value.to_string (Value.int 42));
+        check Alcotest.string "str" "abc" (Value.to_string (Value.str "abc")));
+    qt "compare antisymmetric"
+      QCheck2.Gen.(tup2 (int_bound 20) (int_bound 20))
+      (fun (a, b) ->
+        let va = Value.int a and vb = Value.int b in
+        Value.compare va vb = -Value.compare vb va);
+    qt "hash respects equality" QCheck2.Gen.(int_bound 50) (fun i ->
+        Value.hash (Value.int i) = Value.hash (Value.int i));
+  ]
+
+(* ------------------------------ Tuple ------------------------------ *)
+
+let tuple_suite =
+  [
+    tc "project keeps order" (fun () ->
+        let t = Tuple.of_list [ Value.int 1; Value.int 2; Value.int 3 ] in
+        let p = Tuple.project [ 2; 0 ] t in
+        check Alcotest.string "projected" "(3, 1)" (Fmt.str "%a" Tuple.pp p));
+    tc "mem finds constants" (fun () ->
+        let t = Tuple.of_list [ Value.str "x"; Value.str "y" ] in
+        check Alcotest.bool "x in" true (Tuple.mem (Value.str "x") t);
+        check Alcotest.bool "z out" false (Tuple.mem (Value.str "z") t));
+    qt "equal iff compare = 0"
+      QCheck2.Gen.(tup2 (list_size (int_bound 4) (int_bound 5)) (list_size (int_bound 4) (int_bound 5)))
+      (fun (a, b) ->
+        let ta = Tuple.of_list (List.map Value.int a) in
+        let tb = Tuple.of_list (List.map Value.int b) in
+        Tuple.equal ta tb = (Tuple.compare ta tb = 0));
+  ]
+
+(* ------------------------------ Schema ----------------------------- *)
+
+let schema_suite =
+  [
+    tc "sort and arity" (fun () ->
+        check Alcotest.(list string) "sort r" [ "a"; "b"; "c" ] (Schema.sort abc_schema "r");
+        check Alcotest.int "arity" 3 (Schema.arity abc_schema "r"));
+    tc "positions" (fun () ->
+        let r = Schema.find_relation abc_schema "r" in
+        check Alcotest.(list int) "pos" [ 2; 0 ] (Schema.positions r [ "c"; "a" ]));
+    tc "unknown relation raises" (fun () ->
+        Alcotest.check_raises "raises" (Schema.Unknown_relation "nope") (fun () ->
+            ignore (Schema.find_relation abc_schema "nope")));
+    tc "shared_attrs of decomposed parts" (fun () ->
+        let s = Transform.apply_schema abc_schema abc_decomposition in
+        let r1 = Schema.find_relation s "r1" and r2 = Schema.find_relation s "r2" in
+        check Alcotest.(list string) "shared" [ "a" ] (Schema.shared_attrs r1 r2));
+    tc "weaken_inds drops equality" (fun () ->
+        let s = Transform.apply_schema abc_schema abc_decomposition in
+        let w = Schema.weaken_inds s in
+        check Alcotest.bool "no equality left" true
+          (List.for_all (fun (i : Schema.ind) -> not i.Schema.equality) w.Schema.inds));
+    tc "equality_inds_of finds both directions" (fun () ->
+        let s = Transform.apply_schema abc_schema abc_decomposition in
+        check Alcotest.bool "r1 has one" true (Schema.equality_inds_of s "r1" <> []);
+        check Alcotest.bool "r2 has one" true (Schema.equality_inds_of s "r2" <> []));
+  ]
+
+(* ----------------------------- Instance ---------------------------- *)
+
+let instance_suite =
+  [
+    tc "add dedups tuples" (fun () ->
+        let inst = Instance.create abc_schema in
+        Instance.add_list inst "r" [ Value.str "a"; Value.str "b"; Value.str "c" ];
+        Instance.add_list inst "r" [ Value.str "a"; Value.str "b"; Value.str "c" ];
+        check Alcotest.int "one tuple" 1 (Instance.cardinality inst "r"));
+    tc "arity mismatch raises" (fun () ->
+        let inst = Instance.create abc_schema in
+        Alcotest.check_raises "raises" (Instance.Arity_mismatch "r") (fun () ->
+            Instance.add_list inst "r" [ Value.str "a" ]));
+    tc "find uses the index" (fun () ->
+        let inst = abc_instance () in
+        let hits = Instance.find inst "r" 1 (Value.str "b1") in
+        check Alcotest.bool "nonempty" true (hits <> []);
+        check Alcotest.bool "all match" true
+          (List.for_all (fun tu -> Value.equal tu.(1) (Value.str "b1")) hits));
+    tc "find_matching conjunction" (fun () ->
+        let inst = abc_instance () in
+        let hits = Instance.find_matching inst "r" [ (1, Value.str "b1"); (2, Value.str "c1") ] in
+        check Alcotest.bool "all match both" true
+          (List.for_all
+             (fun tu ->
+               Value.equal tu.(1) (Value.str "b1") && Value.equal tu.(2) (Value.str "c1"))
+             hits));
+    tc "tuples_containing searches all columns" (fun () ->
+        let inst = abc_instance () in
+        check Alcotest.int "a3 appears once" 1
+          (List.length (Instance.tuples_containing inst "r" (Value.str "a3")));
+        check Alcotest.bool "b1 appears in several" true
+          (List.length (Instance.tuples_containing inst "r" (Value.str "b1")) > 1));
+    tc "column_values distinct" (fun () ->
+        let inst = abc_instance () in
+        check Alcotest.int "4 b-values" 4 (List.length (Instance.column_values inst "r" "b")));
+    tc "fd satisfied on fixture" (fun () ->
+        let inst = abc_instance () in
+        check Alcotest.(list string) "no violations" [] (Instance.violations inst));
+    tc "fd violation detected" (fun () ->
+        let inst = Instance.create abc_schema in
+        Instance.add_list inst "r" [ Value.str "a"; Value.str "b1"; Value.str "c" ];
+        Instance.add_list inst "r" [ Value.str "a"; Value.str "b2"; Value.str "c" ];
+        check Alcotest.bool "violated" false (Instance.satisfies_constraints inst));
+    tc "ind violation detected" (fun () ->
+        let s = Transform.apply_schema abc_schema abc_decomposition in
+        let inst = Instance.create s in
+        Instance.add_list inst "r1" [ Value.str "a"; Value.str "b" ];
+        (* r2 misses the matching a -> IND with equality broken *)
+        check Alcotest.bool "violated" false (Instance.satisfies_constraints inst));
+    tc "instance equality is content-based" (fun () ->
+        let i1 = abc_instance () and i2 = abc_instance () in
+        check Alcotest.bool "equal" true (Instance.equal i1 i2));
+  ]
+
+(* ----------------------------- Algebra ----------------------------- *)
+
+let algebra_suite =
+  [
+    tc "project is duplicate-free" (fun () ->
+        let inst = abc_instance () in
+        let p = Algebra.project inst "r" [ "b" ] in
+        check Alcotest.int "4 distinct" 4 (List.length p));
+    tc "natural join recomposes a decomposition" (fun () ->
+        let inst = abc_instance () in
+        let j = Transform.apply_instance inst abc_decomposition in
+        let t =
+          Algebra.natural_join
+            (Algebra.table_of_relation j "r1")
+            (Algebra.table_of_relation j "r2")
+        in
+        check Alcotest.int "same cardinality" (Instance.cardinality inst "r")
+          (List.length t.Algebra.trows));
+    tc "join without shared attributes is rejected" (fun () ->
+        let at = Schema.attribute in
+        let s =
+          Schema.make
+            [
+              Schema.relation "u" [ at ~domain:"d" "x" ];
+              Schema.relation "v" [ at ~domain:"d" "y" ];
+            ]
+        in
+        let inst = Instance.create s in
+        Alcotest.check_raises "invalid" (Invalid_argument "natural_join: no shared attributes")
+          (fun () ->
+            ignore
+              (Algebra.natural_join
+                 (Algebra.table_of_relation inst "u")
+                 (Algebra.table_of_relation inst "v"))));
+    tc "reorder permutes columns" (fun () ->
+        let inst = abc_instance ~n:1 () in
+        let t = Algebra.table_of_relation inst "r" in
+        let t' = Algebra.reorder t [ "c"; "a" ] in
+        check Alcotest.int "two columns" 2 (List.length t'.Algebra.tattrs);
+        check Alcotest.string "row" "(c0, a0)"
+          (Fmt.str "%a" Castor_relational.Tuple.pp (List.hd t'.Algebra.trows)));
+  ]
+
+(* ---------------------------- Hypergraph --------------------------- *)
+
+let hypergraph_suite =
+  [
+    tc "chain is acyclic" (fun () ->
+        check Alcotest.bool "acyclic" true
+          (Hypergraph.is_acyclic [ [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "d" ] ]));
+    tc "triangle is cyclic" (fun () ->
+        check Alcotest.bool "cyclic" false
+          (Hypergraph.is_acyclic [ [ "a"; "b" ]; [ "b"; "c" ]; [ "c"; "a" ] ]));
+    tc "star is acyclic" (fun () ->
+        check Alcotest.bool "acyclic" true
+          (Hypergraph.is_acyclic [ [ "k"; "x" ]; [ "k"; "y" ]; [ "k"; "z" ] ]));
+    tc "paper's cyclic example (S3,S4,S5)" (fun () ->
+        (* S3(A,B), S4(B,C), S5(B,A): cyclic per Section 4? the sorts
+           share B pairwise and A twice -> edge contained: S5 ⊆ S3∪..;
+           GYO reduces {a,b},{b,c},{b,a}: duplicates drop, then chain *)
+        check Alcotest.bool "reduces" true
+          (Hypergraph.is_acyclic [ [ "a"; "b" ]; [ "b"; "c" ]; [ "b"; "a" ] ]));
+    tc "single relation is acyclic" (fun () ->
+        check Alcotest.bool "acyclic" true (Hypergraph.is_acyclic [ [ "a"; "b"; "c" ] ]));
+  ]
+
+let suite =
+  value_suite @ tuple_suite @ schema_suite @ instance_suite @ algebra_suite
+  @ hypergraph_suite

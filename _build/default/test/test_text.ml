@@ -1,0 +1,205 @@
+(* Tests for the text formats: lexer, schema/fact parsing and
+   round-tripping, Datalog clause parsing, SQL rendering. *)
+
+open Castor_relational
+open Castor_logic
+open Helpers
+
+let lexer_suite =
+  [
+    tc "tokenize basic punctuation and idents" (fun () ->
+        let open Lexer in
+        check Alcotest.bool "tokens" true
+          (tokenize "foo(X, 42) :- bar." =
+           [ Ident "foo"; Lparen; Ident "X"; Comma; Int 42; Rparen; Turnstile;
+             Ident "bar"; Dot; Eof ]));
+    tc "comments are skipped" (fun () ->
+        let open Lexer in
+        check Alcotest.bool "tokens" true
+          (tokenize "a % comment here\nb" = [ Ident "a"; Ident "b"; Eof ]));
+    tc "operators" (fun () ->
+        let open Lexer in
+        check Alcotest.bool "tokens" true
+          (tokenize "x -> y <= z = [w]"
+          = [ Ident "x"; Arrow; Ident "y"; Subset; Ident "z"; Eq; Lbracket;
+              Ident "w"; Rbracket; Eof ]));
+    tc "bad character raises" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Lexer.tokenize "a ; b");
+             false
+           with Lexer.Error _ -> true));
+  ]
+
+let schema_text =
+  {|
+  % UW-CSE-ish fragment
+  relation student(stud: person).
+  relation inPhase(stud: person, phase: phase).
+  fd inPhase: stud -> phase.
+  ind student[stud] = inPhase[stud].
+  ind inPhase[stud] <= student[stud].
+  |}
+
+let text_suite =
+  [
+    tc "parse_schema reads relations, fds and inds" (fun () ->
+        let s = Text.parse_schema schema_text in
+        check Alcotest.int "two relations" 2 (List.length s.Schema.relations);
+        check Alcotest.int "one fd" 1 (List.length s.Schema.fds);
+        check Alcotest.int "two inds" 2 (List.length s.Schema.inds);
+        check Alcotest.bool "first ind equality" true
+          (List.hd s.Schema.inds).Schema.equality);
+    tc "parse_facts loads typed tuples" (fun () ->
+        let s = Text.parse_schema schema_text in
+        let inst =
+          Text.parse_facts s "student(ann). inPhase(ann, post_quals)."
+        in
+        check Alcotest.int "one student" 1 (Instance.cardinality inst "student");
+        check Alcotest.bool "constraints ok" true (Instance.satisfies_constraints inst));
+    tc "schema print/parse round trip" (fun () ->
+        let s = Text.parse_schema schema_text in
+        let s' = Text.parse_schema (Text.schema_to_string s) in
+        check Alcotest.bool "same relations" true
+          (List.map (fun (r : Schema.relation) -> r.Schema.rname) s.Schema.relations
+          = List.map (fun (r : Schema.relation) -> r.Schema.rname) s'.Schema.relations);
+        check Alcotest.bool "same inds" true (s.Schema.inds = s'.Schema.inds));
+    tc "facts print/parse round trip on a real dataset" (fun () ->
+        let ds = Castor_datasets.Family.generate () in
+        let dumped = Text.facts_to_string ds.Castor_datasets.Dataset.instance in
+        let inst' = Text.parse_facts ds.Castor_datasets.Dataset.schema dumped in
+        check Alcotest.bool "equal instances" true
+          (Instance.equal ds.Castor_datasets.Dataset.instance inst'));
+    tc "integers parse as int constants" (fun () ->
+        let s =
+          Text.parse_schema "relation years(stud: person, n: years)."
+        in
+        let inst = Text.parse_facts s "years(ann, 4)." in
+        let tu = List.hd (Instance.tuples inst "years") in
+        check Alcotest.bool "int" true (Value.equal tu.(1) (Value.int 4)));
+  ]
+
+let parse_suite =
+  [
+    tc "parse a clause with variables and constants" (fun () ->
+        let c = Parse.clause "adv(X, Y) :- pub(P, X), pub(P, Y), phase(X, post_quals)." in
+        check Alcotest.int "three literals" 3 (Clause.length c);
+        check Alcotest.(list string) "vars" [ "X"; "Y"; "P" ] (Clause.variables c));
+    tc "parse a fact clause" (fun () ->
+        let c = Parse.clause "adv(ann, bob)." in
+        check Alcotest.int "empty body" 0 (Clause.length c);
+        check Alcotest.bool "ground head" true (Atom.is_ground c.Clause.head));
+    tc "print/parse round trip" (fun () ->
+        let c = Parse.clause "t(X) :- p(X, Y), q(Y, k1)." in
+        let c' = Parse.clause (Clause.to_string c) in
+        check Alcotest.bool "equivalent" true (Subsume.equivalent c c'));
+    qt ~count:60 "generated clauses round trip through print/parse" clause_gen
+      (fun c ->
+        (* our generator uses lowercase 'x0'... variable names; print
+           them via a renaming that parses back as variables *)
+        let renamed =
+          Clause.apply_subst
+            (List.fold_left
+               (fun s v -> Subst.bind v (Term.Var (String.capitalize_ascii v)) s)
+               Subst.empty (Clause.variables c))
+            c
+        in
+        let c' = Parse.clause (Clause.to_string renamed) in
+        Subsume.equivalent renamed c');
+    tc "definition parser groups clauses and checks the target" (fun () ->
+        let d = Parse.definition "t(X) :- p(X, Y).\n t(X) :- q(X, X)." in
+        check Alcotest.int "two clauses" 2 (List.length d.Clause.clauses);
+        check Alcotest.string "target" "t" d.Clause.target);
+    tc "definition parser rejects mixed heads" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Parse.definition "t(X) :- p(X, Y). u(X) :- q(X, X).");
+             false
+           with Lexer.Error _ -> true));
+  ]
+
+let sql_suite =
+  let schema =
+    Text.parse_schema
+      {|
+      relation parent(x: person, y: person).
+      relation gender(p: person, g: gender).
+      |}
+  in
+  [
+    tc "clause renders joins and equality conditions" (fun () ->
+        let c = Parse.clause "grandparent(X, Z) :- parent(X, Y), parent(Y, Z)." in
+        let sql = Sql.clause_to_sql schema c in
+        check Alcotest.bool "select" true (String.length sql > 0);
+        let has needle =
+          let nl = String.length needle and tl = String.length sql in
+          let rec go i = i + nl <= tl && (String.sub sql i nl = needle || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "two aliases" true (has "parent AS t0" && has "parent AS t1");
+        check Alcotest.bool "join condition" true (has "t1.x = t0.y"));
+    tc "constants become literal predicates" (fun () ->
+        let c = Parse.clause "adults(X) :- gender(X, male)." in
+        let sql = Sql.clause_to_sql schema c in
+        let has needle =
+          let nl = String.length needle and tl = String.length sql in
+          let rec go i = i + nl <= tl && (String.sub sql i nl = needle || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "literal" true (has "t0.g = 'male'"));
+    tc "unsafe clauses are rejected" (fun () ->
+        let c = Parse.clause "t(X, W) :- parent(X, Y)." in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Sql.clause_to_sql schema c);
+             false
+           with Invalid_argument _ -> true));
+    tc "definitions render as UNION and views" (fun () ->
+        let d = Parse.definition "t(X) :- parent(X, Y).\n t(X) :- parent(Y, X)." in
+        let sql = Sql.definition_to_sql schema d in
+        let has needle =
+          let nl = String.length needle and tl = String.length sql in
+          let rec go i = i + nl <= tl && (String.sub sql i nl = needle || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "union" true (has "UNION");
+        check Alcotest.bool "view" true
+          (let v = Sql.create_view schema d in
+           String.length v > 0 && String.sub v 0 11 = "CREATE VIEW"));
+  ]
+
+let error_suite =
+  let raises_lexer f =
+    try
+      ignore (f ());
+      false
+    with Lexer.Error _ -> true
+  in
+  [
+    tc "unterminated atom is rejected" (fun () ->
+        check Alcotest.bool "raises" true
+          (raises_lexer (fun () -> Parse.clause "t(X :- p(X).")));
+    tc "missing dot is rejected" (fun () ->
+        check Alcotest.bool "raises" true
+          (raises_lexer (fun () -> Parse.clause "t(X) :- p(X, Y)")));
+    tc "facts for unknown relations are rejected" (fun () ->
+        let s = Text.parse_schema "relation p(x: d)." in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Text.parse_facts s "q(a).");
+             false
+           with Schema.Unknown_relation _ -> true));
+    tc "arity mismatches in facts are rejected" (fun () ->
+        let s = Text.parse_schema "relation p(x: d)." in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Text.parse_facts s "p(a, b).");
+             false
+           with Instance.Arity_mismatch _ -> true));
+    tc "bad ind operator is rejected" (fun () ->
+        check Alcotest.bool "raises" true
+          (raises_lexer (fun () ->
+               Text.parse_schema "relation p(x: d). ind p[x] : p[x].")));
+  ]
+
+let suite = lexer_suite @ text_suite @ parse_suite @ sql_suite @ error_suite

@@ -1,0 +1,210 @@
+(* Tests pinning the paper's formal claims, beyond the end-to-end
+   schema-independence checks:
+
+   - Example 6.2 / Lemma 6.3: depth-bounded bottom-clause construction
+     is schema dependent — no depth value gives equivalent clauses
+     across a composition.
+   - Theorem 6.4: the rlgg operator is schema independent (on
+     corresponding saturations it produces clauses with identical
+     coverage).
+   - Example 6.5 / Theorem 6.6: plain ARMG is schema dependent, while
+     Castor's IND-aware ARMG commutes with the transformation.
+   - Proposition 3.7: Horn transformations are definition bijective
+     (see also Test_logic's δτ tests). *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+open Castor_datasets
+open Castor_eval
+open Castor_core
+open Helpers
+
+(* ---- fixtures: family dataset base vs composed variant ---------- *)
+
+let family = Family.generate ()
+
+let setup vname =
+  let prep = Experiment.prepare family vname in
+  let n_pos = Coverage.length prep.Experiment.all_pos in
+  let n_neg = Coverage.length prep.Experiment.all_neg in
+  let problem =
+    Experiment.problem_of_fold prep
+      (Array.init n_pos Fun.id, [||])
+      (Array.init n_neg Fun.id, [||])
+      ~seed:17
+  in
+  let plan = Plan.build (Instance.schema problem.Castor_learners.Problem.instance) in
+  (prep, problem, plan)
+
+let depth_dependence_suite =
+  [
+    tc "Lemma 6.3: depth-1 bottom clauses are not equivalent across composition"
+      (fun () ->
+        (* Example 6.2's shape: composing courseLevel and taughtBy
+           brings the course level within depth 1 of the professor,
+           while the decomposed schema needs the course id first — so
+           equal depths carry different information *)
+        let uw = Uwcse.generate () in
+        let base = uw.Dataset.instance in
+        let composed = Transform.apply_instance base Uwcse.to_denorm1 in
+        let e = uw.Dataset.examples.Examples.pos.(0) in
+        let params d =
+          {
+            Bottom.default_params with
+            depth = d;
+            no_expand_domains = uw.Dataset.no_expand_domains;
+          }
+        in
+        let sat_base = Bottom.saturation ~params:(params 1) base e in
+        let sat_comp = Bottom.saturation ~params:(params 1) composed e in
+        (* the composed saturation mentions course levels (inside
+           courseTaught literals); the decomposed one cannot reach
+           courseLevel at depth 1 *)
+        let mentions_level (c : Clause.t) rel =
+          List.exists (fun (a : Atom.t) -> String.equal a.Atom.rel rel) c.Clause.body
+        in
+        check Alcotest.bool "composed sees levels at depth 1" true
+          (mentions_level sat_comp "courseTaught");
+        check Alcotest.bool "decomposed does not" false
+          (mentions_level sat_base "courseLevel"));
+    tc "the IND chase restores saturation equivalence at equal depth" (fun () ->
+        let base = family.Dataset.instance in
+        let composed = Transform.apply_instance base Family.to_composed in
+        let e = family.Dataset.examples.Examples.pos.(0) in
+        let chase inst = Castor.expand_hook inst in
+        let params = { Bottom.default_params with depth = 1 } in
+        let sat_base = Bottom.saturation ~expand:(chase base) ~params base e in
+        let sat_comp =
+          Bottom.saturation ~expand:(chase composed) ~params composed e
+        in
+        let canon schema (c : Clause.t) =
+          let inst = Instance.create schema in
+          List.iter
+            (fun (a : Atom.t) -> Instance.add inst a.Atom.rel (Atom.to_tuple a))
+            c.Clause.body;
+          inst
+        in
+        let atoms inst =
+          List.concat_map
+            (fun rel ->
+              List.map
+                (fun tu -> Atom.to_string (Atom.of_tuple rel tu))
+                (Instance.tuples inst rel))
+            (Instance.relation_names inst)
+          |> List.sort_uniq compare
+        in
+        let mapped =
+          Transform.apply_instance
+            (canon family.Dataset.schema sat_base)
+            Family.to_composed
+        in
+        check Alcotest.(list string) "same information" (atoms mapped)
+          (atoms (canon (Instance.schema composed) sat_comp)));
+  ]
+
+(* ---- Theorem 6.4: rlgg is schema independent --------------------- *)
+
+let rlgg_suite =
+  [
+    tc "Thm 6.4: rlggs of corresponding saturations have equal coverage"
+      (fun () ->
+        let _, pa, _ = setup "base" in
+        let _, pb, _ = setup "composed" in
+        let module P = Castor_learners.Problem in
+        for i = 0 to 4 do
+          for j = i + 1 to 5 do
+            let ga =
+              Lgg.rlgg pa.P.pos_cov.Coverage.bottoms.(i)
+                pa.P.pos_cov.Coverage.bottoms.(j)
+            in
+            let gb =
+              Lgg.rlgg pb.P.pos_cov.Coverage.bottoms.(i)
+                pb.P.pos_cov.Coverage.bottoms.(j)
+            in
+            match ga, gb with
+            | Some ga, Some gb ->
+                let va = Coverage.vector pa.P.pos_cov ga in
+                let vb = Coverage.vector pb.P.pos_cov gb in
+                check Alcotest.bool
+                  (Printf.sprintf "rlgg(%d,%d) coverage equal" i j)
+                  true (va = vb)
+            | None, None -> ()
+            | _ -> Alcotest.fail "rlgg defined under one schema only"
+          done
+        done);
+  ]
+
+(* ---- Example 6.5 / Theorem 6.6: plain ARMG is schema dependent,
+        Castor's is not ------------------------------------------------ *)
+
+let armg_suite =
+  [
+    tc "Example 6.5: plain ARMG generalizes non-equivalently" (fun () ->
+        (* the example's exact scenario: the clause
+             hardWorking(x) <- student(x), inPhase(x,prelim), years(x,3)
+           vs its composed form student(x,prelim,3). Removing the
+           blocking attribute literal keeps student(x) under the
+           decomposed schema but drops everything under the composed
+           one — without the IND repair the generalizations differ. *)
+        let uw = Uwcse.generate () in
+        let prep_a = Experiment.prepare uw "original" in
+        let prep_b = Experiment.prepare uw "4nf" in
+        let module P = Castor_learners.Problem in
+        let problem prep =
+          Experiment.problem_of_fold prep
+            (Array.init (Coverage.length prep.Experiment.all_pos) Fun.id, [||])
+            (Array.init (Coverage.length prep.Experiment.all_neg) Fun.id, [||])
+            ~seed:17
+        in
+        let pa = problem prep_a and pb = problem prep_b in
+        let diverged = ref false in
+        for seed = 0 to 2 do
+          let ba, _ = Clause.variabilize pa.P.pos_cov.Coverage.bottoms.(seed) in
+          let bb, _ = Clause.variabilize pb.P.pos_cov.Coverage.bottoms.(seed) in
+          for i = 0 to 8 do
+            match
+              (Armg.generalize pa.P.pos_cov ba i, Armg.generalize pb.P.pos_cov bb i)
+            with
+            | Some ga, Some gb ->
+                if
+                  Coverage.vector pa.P.pos_cov ga
+                  <> Coverage.vector pb.P.pos_cov gb
+                then diverged := true
+            | _ -> ()
+          done
+        done;
+        check Alcotest.bool "plain armg diverges somewhere" true !diverged);
+    tc "Thm 6.6 counterpart: Castor's ARMG keeps coverage equal" (fun () ->
+        let _, pa, plan_a = setup "base" in
+        let _, pb, plan_b = setup "composed" in
+        let module P = Castor_learners.Problem in
+        for seed = 0 to 3 do
+          let bottom problem plan =
+            let e = problem.P.pos_cov.Coverage.examples.(seed) in
+            Bottom.bottom_clause
+              ~expand:(fun r tu -> Plan.expand plan problem.P.instance r tu)
+              ~params:
+                (Castor.bottom_params ~base:problem.P.bottom_params
+                   Castor.default_params)
+              problem.P.instance e
+          in
+          let ba = bottom pa plan_a and bb = bottom pb plan_b in
+          for i = 0 to 6 do
+            match
+              ( Armg.generalize ~repair:(Ind_repair.repair plan_a) pa.P.pos_cov ba i,
+                Armg.generalize ~repair:(Ind_repair.repair plan_b) pb.P.pos_cov bb i )
+            with
+            | Some ga, Some gb ->
+                check Alcotest.bool
+                  (Printf.sprintf "seed %d, e%d" seed i)
+                  true
+                  (Coverage.vector pa.P.pos_cov ga
+                  = Coverage.vector pb.P.pos_cov gb)
+            | None, None -> ()
+            | _ -> Alcotest.fail "castor armg defined under one schema only"
+          done
+        done);
+  ]
+
+let suite = depth_dependence_suite @ rlgg_suite @ armg_suite
