@@ -17,6 +17,7 @@ open Castor_logic
 open Castor_datasets
 open Castor_eval
 open Castor_qlearn
+module Obs = Castor_obs.Obs
 
 let section title =
   Fmt.pr "@.======================================================================@.";
@@ -463,6 +464,20 @@ let all =
     ("micro", micro);
   ]
 
+(* Every experiment runs against a zeroed Obs registry and ends with
+   its metrics block: the text rendering on stdout, the JSON dump in
+   BENCH_<id>.json next to the working directory, so runs can be
+   diffed across commits. *)
+let with_metrics id f =
+  Obs.reset ();
+  f ();
+  Fmt.pr "@.-- Obs metrics: %s --@.%s@." id (Obs.report ());
+  let path = Printf.sprintf "BENCH_%s.json" id in
+  let oc = open_out path in
+  Printf.fprintf oc "{\"experiment\":\"%s\",\"metrics\":%s}\n" id (Obs.to_json ());
+  close_out oc;
+  Fmt.pr "(metrics JSON written to %s)@." path
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
@@ -472,7 +487,7 @@ let () =
   List.iter
     (fun id ->
       match List.assoc_opt id all with
-      | Some f -> f ()
+      | Some f -> with_metrics id f
       | None ->
           Fmt.epr "unknown experiment %s; available: %a@." id
             Fmt.(list ~sep:sp string)

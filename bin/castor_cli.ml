@@ -232,6 +232,46 @@ let sql_cmd =
     (Cmd.info "sql" ~doc:"Learn a definition and print it as a SQL view.")
     Term.(const sql $ dataset_arg $ variant_arg $ algo_arg)
 
+(* ----------------------------- stats ----------------------------- *)
+
+let stats dataset variant algo domains json =
+  let module Obs = Castor_obs.Obs in
+  let ds = dataset_of_name dataset in
+  let vname = Option.value ~default:(fst (List.hd ds.Dataset.variants)) variant in
+  let a =
+    (* Castor manages coverage domains itself via its params *)
+    if String.equal algo "castor" && domains > 1 then
+      Algos.castor
+        ~params:{ Castor_core.Castor.default_params with domains }
+        ()
+    else algo_of_name algo
+  in
+  let prep = Experiment.prepare ds vname in
+  Castor_ilp.Coverage.set_domains prep.Experiment.all_pos domains;
+  Castor_ilp.Coverage.set_domains prep.Experiment.all_neg domains;
+  Obs.reset ();
+  let def = Experiment.train_full prep a in
+  if json then print_endline (Obs.to_json ())
+  else begin
+    Fmt.pr "%s on %s/%s learned %d clause(s); observability report:@.@."
+      a.Experiment.algo_name dataset vname
+      (List.length def.Castor_logic.Clause.clauses);
+    print_string (Obs.report ())
+  end
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Train once and print the Obs observability report (operation \
+          counters, span timings, slowest coverage vectors).")
+    Term.(
+      const stats $ dataset_arg $ variant_arg $ algo_arg
+      $ Arg.(
+          value & opt int 1
+          & info [ "domains" ] ~doc:"Parallel coverage-test domains.")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text."))
+
 (* ---------------------------- discover --------------------------- *)
 
 let discover dataset =
@@ -280,5 +320,5 @@ let () =
        (Cmd.group (Cmd.info "castor" ~doc)
           [
             learn_cmd; schemas_cmd; transform_cmd; oracle_cmd; export_cmd;
-            import_cmd; sql_cmd; discover_cmd;
+            import_cmd; sql_cmd; discover_cmd; stats_cmd;
           ]))

@@ -25,6 +25,9 @@ open Castor_relational
 open Castor_logic
 open Castor_ilp
 open Castor_learners
+module Obs = Castor_obs.Obs
+
+let span_learn = Obs.Span.create "learner.castor"
 
 type params = {
   sample : int;  (** K — positives sampled per generalization round *)
@@ -130,6 +133,7 @@ let learn_clause (prm : params) (plan : Plan.t option ref) (p : Problem.t)
     should be built with {!expand_hook} so that they, too, are
     equivalent across schemas. *)
 let learn ?(params = default_params) (p : Problem.t) =
+  Obs.Span.with_span span_learn @@ fun () ->
   let plan = ref None in
   Coverage.set_domains p.Problem.pos_cov params.domains;
   Coverage.set_domains p.Problem.neg_cov params.domains;

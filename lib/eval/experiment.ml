@@ -13,6 +13,11 @@ open Castor_logic
 open Castor_ilp
 open Castor_learners
 open Castor_datasets
+module Obs = Castor_obs.Obs
+
+(* one span over every training run, whatever the algorithm — the
+   denominator when reading the per-operation spans below it *)
+let span_train = Obs.Span.create "eval.train"
 
 type algo = {
   algo_name : string;
@@ -178,7 +183,7 @@ let crossval ?(folds = 5) ?(seed = 17) (prep : prepared) (algo : algo) =
       (fun pf nf ->
         let problem = problem_of_fold prep pf nf ~seed in
         let t0 = Unix.gettimeofday () in
-        let def = algo.run problem in
+        let def = Obs.Span.with_span span_train (fun () -> algo.run problem) in
         let dt = Unix.gettimeofday () -. t0 in
         let m = test_metrics prep def (snd pf, snd nf) in
         (m, dt, def))
@@ -211,7 +216,7 @@ let train_full ?(seed = 17) (prep : prepared) (algo : algo) =
       (Array.init n_neg Fun.id, [||])
       ~seed
   in
-  algo.run problem
+  Obs.Span.with_span span_train (fun () -> algo.run problem)
 
 (** [signature prep def] is the coverage bit-vector of [def] over all
     examples of the dataset (positives then negatives) — two learned

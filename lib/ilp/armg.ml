@@ -15,6 +15,9 @@
     ProGolem passes the identity. *)
 
 open Castor_logic
+module Obs = Castor_obs.Obs
+
+let span_generalize = Obs.Span.create "ilp.armg.generalize"
 
 let prefix_clause (c : Clause.t) k =
   { c with Clause.body = List.filteri (fun i _ -> i < k) c.Clause.body }
@@ -24,7 +27,8 @@ let prefix_clause (c : Clause.t) k =
     head fails to cover [e_i] (then no generalization of [C] along
     this example exists). *)
 let generalize ?(repair = fun c -> c) (cov : Coverage.t) (c : Clause.t) i =
-  Stats.current.Stats.armg_calls <- Stats.current.Stats.armg_calls + 1;
+  Obs.Span.with_span span_generalize @@ fun () ->
+  Obs.Counter.incr Stats.c_armg_calls;
   let covers_prefix c k = Coverage.covers cov (prefix_clause c k) i in
   if not (covers_prefix c 0) then None
   else
@@ -41,8 +45,7 @@ let generalize ?(repair = fun c -> c) (cov : Coverage.t) (c : Clause.t) i =
           if covers_prefix !current mid then lo := mid else hi := mid
         done;
         let blocking = !hi - 1 in
-        Stats.current.Stats.blocking_removals <-
-          Stats.current.Stats.blocking_removals + 1;
+        Obs.Counter.incr Stats.c_blocking_removals;
         let body = List.filteri (fun j _ -> j <> blocking) !current.Clause.body in
         current := Clause.head_connected (repair { !current with Clause.body = body });
         if Clause.length !current = 0 then continue := false

@@ -21,6 +21,9 @@
 
 open Castor_relational
 open Castor_logic
+module Obs = Castor_obs.Obs
+
+let span_saturation = Obs.Span.create "ilp.bottom.saturation"
 
 type params = {
   depth : int;
@@ -80,7 +83,8 @@ let group_key (lits : Atom.t list) =
     data and therefore identical across information-equivalent
     schemas. *)
 let saturation ?(expand = fun _ _ -> []) ~params inst (e : Atom.t) =
-  Stats.current.Stats.saturations <- Stats.current.Stats.saturations + 1;
+  Obs.Span.with_span span_saturation @@ fun () ->
+  Obs.Counter.incr Stats.c_saturations;
   let schema = Instance.schema inst in
   let rels = List.map (fun (r : Schema.relation) -> r.Schema.rname) schema.Schema.relations in
   let expandable_pos =

@@ -14,6 +14,7 @@
     can also be fanned out over domains ({!Parallel}). *)
 
 open Castor_logic
+module Obs = Castor_obs.Obs
 
 type t = {
   examples : Atom.t array;
@@ -22,6 +23,9 @@ type t = {
   cache : (string, bool array) Hashtbl.t;
   mutable cache_enabled : bool;
   mutable domains : int;
+  mutable force_parallel : bool;
+      (** fan out even when the runtime reports one hardware thread —
+          used by tests that must exercise real worker domains *)
 }
 
 (** [build ?expand ~params ~max_steps inst examples] precomputes the
@@ -37,28 +41,20 @@ let build ?expand ~params ?(max_steps = 250_000) inst (examples : Atom.t array) 
     cache = Hashtbl.create 256;
     cache_enabled = true;
     domains = 1;
+    force_parallel = false;
   }
 
 let length t = Array.length t.examples
 
-(** Cumulative wall-clock spent in batch [vector] calls and in single
-    [covers] tests since program start — used by the benches to report
-    where learning time goes. *)
-let time_in_vector = ref 0.
+(** Wall-clock spent in batch [vector] calls and in single [covers]
+    tests — the benches report where learning time goes from these. *)
+let span_vector = Obs.Span.create "ilp.coverage.vector"
 
-let time_in_covers = ref 0.
+let span_covers = Obs.Span.create "ilp.coverage.covers"
 
-(** Slowest [vector] calls so far: (seconds, clause), newest-biased;
-    for performance diagnosis in the benches. *)
-let slow_vectors : (float * string) list ref = ref []
-
-let note_slow dt clause =
-  if dt > 0.05 then
-    slow_vectors :=
-      (dt, Clause.to_string clause)
-      :: (if List.length !slow_vectors > 40 then
-            List.filteri (fun i _ -> i < 39) !slow_vectors
-          else !slow_vectors)
+(** Slowest [vector] calls, with the clause as label; for performance
+    diagnosis in the benches. *)
+let slow_vectors = Obs.Reservoir.create ~capacity:40 "ilp.coverage.slow_vectors"
 
 (** [sub t idxs] is the coverage structure restricted to the examples
     at [idxs] — saturations are shared, so cross-validation folds cost
@@ -71,9 +67,12 @@ let sub t idxs =
     cache = Hashtbl.create 64;
     cache_enabled = t.cache_enabled;
     domains = t.domains;
+    force_parallel = t.force_parallel;
   }
 
 let set_domains t n = t.domains <- max 1 n
+
+let set_force_parallel t b = t.force_parallel <- b
 
 let set_cache t b = t.cache_enabled <- b
 
@@ -81,11 +80,9 @@ let clear_cache t = Hashtbl.reset t.cache
 
 (** [covers t clause i] tests coverage of the [i]-th example alone. *)
 let covers t clause i =
-  let t0 = Unix.gettimeofday () in
-  Stats.current.Stats.subsumption_tests <- Stats.current.Stats.subsumption_tests + 1;
-  let r = Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i) in
-  time_in_covers := !time_in_covers +. (Unix.gettimeofday () -. t0);
-  r
+  Obs.Span.with_span span_covers @@ fun () ->
+  Obs.Counter.incr Stats.c_subsumption_tests;
+  Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i)
 
 (** [vector ?assume ?within t clause] returns the boolean coverage
     vector of [clause] over all examples.
@@ -98,20 +95,20 @@ let covers t clause i =
     are the paper's coverage-test reuse optimizations
     (Section 7.5.4). *)
 let vector ?assume ?within t clause =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () ->
-      let dt = Unix.gettimeofday () -. t0 in
-      time_in_vector := !time_in_vector +. dt;
-      note_slow dt clause)
-  @@ fun () ->
   (* masked queries bypass the cache: their vectors are only valid for
      that particular mask *)
   let cacheable = t.cache_enabled && assume = None && within = None in
   let key = Clause.to_string clause in
-  Stats.current.Stats.coverage_vectors <- Stats.current.Stats.coverage_vectors + 1;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      Obs.Span.record_ns span_vector (Float.to_int (dt *. 1e9));
+      Obs.Reservoir.note slow_vectors dt key)
+  @@ fun () ->
+  Obs.Counter.incr Stats.c_coverage_vectors;
   match (if t.cache_enabled then Hashtbl.find_opt t.cache key else None) with
   | Some v ->
-      Stats.current.Stats.cache_hits <- Stats.current.Stats.cache_hits + 1;
+      Obs.Counter.incr Stats.c_cache_hits;
       (* a cached unmasked vector answers masked queries exactly *)
       (match within with
       | Some mask -> Array.mapi (fun i b -> b && mask.(i)) v
@@ -124,13 +121,14 @@ let vector ?assume ?within t clause =
             match assume with
             | Some known when known.(i) -> true
             | _ ->
-                Stats.current.Stats.subsumption_tests <-
-                  Stats.current.Stats.subsumption_tests + 1;
+                Obs.Counter.incr Stats.c_subsumption_tests;
                 Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i))
       in
       let v =
         if t.domains <= 1 then Array.init (length t) test
-        else Parallel.init ~domains:t.domains (length t) test
+        else
+          Parallel.init ~force:t.force_parallel ~domains:t.domains (length t)
+            test
       in
       if cacheable then Hashtbl.replace t.cache key (Array.copy v);
       v

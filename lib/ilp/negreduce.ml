@@ -6,11 +6,15 @@
     Algorithm 5 (see {!Castor_core.Reduction}). *)
 
 open Castor_logic
+module Obs = Castor_obs.Obs
+
+let span_reduce = Obs.Span.create "ilp.negreduce.reduce"
 
 (** [reduce ?require_safe neg_cov c] drops non-essential literals.
     With [require_safe], a removal that would unbind a head variable
     is skipped (Section 7.3). *)
 let reduce ?(require_safe = false) (neg_cov : Coverage.t) (c : Clause.t) =
+  Obs.Span.with_span span_reduce @@ fun () ->
   let baseline = Coverage.covered_count neg_cov c in
   let current = ref c in
   let i = ref (Clause.length c - 1) in

@@ -9,6 +9,8 @@
     evaluation — extra domains can only add overhead there (the
     Figure 2 experiment records exactly this on single-core hosts). *)
 
+module Obs = Castor_obs.Obs
+
 type task = unit -> unit
 
 let queue : task Queue.t = Queue.create ()
@@ -54,9 +56,18 @@ let recommended_domains () = Domain.recommended_domain_count ()
     strided, because expensive tests cluster (e.g. the failing
     negatives of a coverage vector). [f] must be thread-safe (coverage
     tests are pure). Falls back to sequential evaluation for tiny
-    arrays and on single-core hosts. *)
-let init ~domains n (f : int -> 'b) : 'b array =
-  let domains = min domains (recommended_domains ()) in
+    arrays and on single-core hosts; [force] overrides the single-core
+    fallback (tests use it to exercise real worker domains).
+
+    If [f] raises, the first exception is re-raised in the caller
+    after every worker has finished its task, so the pool is left
+    clean for later calls.
+
+    Each task flushes the worker's domain-local {!Obs} counter scratch
+    before signalling completion, so counter totals read after [init]
+    returns are exact. *)
+let init ?(force = false) ~domains n (f : int -> 'b) : 'b array =
+  let domains = if force then domains else min domains (recommended_domains ()) in
   if domains <= 1 || n < 8 then Array.init n f
   else begin
     let d = min domains ((n + 7) / 8) in
@@ -65,19 +76,25 @@ let init ~domains n (f : int -> 'b) : 'b array =
     let remaining = ref (d - 1) in
     let done_m = Mutex.create () in
     let done_cv = Condition.create () in
+    let failure : exn option Atomic.t = Atomic.make None in
+    let note_exn e = ignore (Atomic.compare_and_set failure None (Some e)) in
     let compute k =
-      let i = ref k in
-      while !i < n do
-        results.(!i) <- Some (f !i);
-        i := !i + d
-      done
+      try
+        let i = ref k in
+        while !i < n do
+          results.(!i) <- Some (f !i);
+          i := !i + d
+        done
+      with e -> note_exn e
     in
     for k = 1 to d - 1 do
       submit (fun () ->
           (* decrement even if [f] raised, so the caller never hangs;
-             the missing result then fails loudly below *)
+             flush counter scratch first so totals are exact once the
+             caller resumes *)
           Fun.protect
             ~finally:(fun () ->
+              Obs.flush ();
               Mutex.lock done_m;
               decr remaining;
               Condition.signal done_cv;
@@ -90,10 +107,14 @@ let init ~domains n (f : int -> 'b) : 'b array =
       Condition.wait done_cv done_m
     done;
     Mutex.unlock done_m;
-    Array.map
-      (function Some v -> v | None -> assert false)
-      results
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false)
+          results
   end
 
 (** [map ~domains f arr] maps in parallel. *)
-let map ~domains f arr = init ~domains (Array.length arr) (fun i -> f arr.(i))
+let map ?force ~domains f arr =
+  init ?force ~domains (Array.length arr) (fun i -> f arr.(i))

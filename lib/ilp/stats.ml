@@ -1,40 +1,55 @@
-(** Global counters for the operations that dominate learning time
+(** Operation counters for the work that dominates learning time
     (Section 7.5: coverage tests "dominate the time for learning").
-    The benches report them; they are plain counters, reset between
-    measurements. Counter updates are not atomic — parallel coverage
-    tests may drop increments — so treat the numbers as measurements,
-    not ground truth. *)
+
+    This module is now a thin compatibility facade over
+    {!Castor_obs.Obs} counters: increments go to domain-local scratch
+    that the {!Parallel} pool flushes at task boundaries, so — unlike
+    the earlier mutable-record implementation — the totals are exact
+    even when coverage tests fan out over domains. The snapshot/diff
+    API is kept for the benches and tests. *)
+
+module Obs = Castor_obs.Obs
+
+let c_subsumption_tests = Obs.Counter.create "ilp.subsumption_tests"
+
+let c_coverage_vectors = Obs.Counter.create "ilp.coverage_vectors"
+
+let c_cache_hits = Obs.Counter.create "ilp.cache_hits"
+
+let c_saturations = Obs.Counter.create "ilp.saturations"
+
+let c_armg_calls = Obs.Counter.create "ilp.armg_calls"
+
+let c_blocking_removals = Obs.Counter.create "ilp.blocking_removals"
 
 type t = {
-  mutable subsumption_tests : int;
-  mutable coverage_vectors : int;
-  mutable cache_hits : int;
-  mutable saturations : int;
-  mutable armg_calls : int;
-  mutable blocking_removals : int;
+  subsumption_tests : int;
+  coverage_vectors : int;
+  cache_hits : int;
+  saturations : int;
+  armg_calls : int;
+  blocking_removals : int;
 }
 
-let current =
-  {
-    subsumption_tests = 0;
-    coverage_vectors = 0;
-    cache_hits = 0;
-    saturations = 0;
-    armg_calls = 0;
-    blocking_removals = 0;
-  }
-
 let reset () =
-  current.subsumption_tests <- 0;
-  current.coverage_vectors <- 0;
-  current.cache_hits <- 0;
-  current.saturations <- 0;
-  current.armg_calls <- 0;
-  current.blocking_removals <- 0
+  Obs.Counter.reset c_subsumption_tests;
+  Obs.Counter.reset c_coverage_vectors;
+  Obs.Counter.reset c_cache_hits;
+  Obs.Counter.reset c_saturations;
+  Obs.Counter.reset c_armg_calls;
+  Obs.Counter.reset c_blocking_removals
 
-(** [snapshot ()] copies the counters, so a caller can diff before and
+(** [snapshot ()] reads the counters, so a caller can diff before and
     after a run. *)
-let snapshot () = { current with subsumption_tests = current.subsumption_tests }
+let snapshot () =
+  {
+    subsumption_tests = Obs.Counter.value c_subsumption_tests;
+    coverage_vectors = Obs.Counter.value c_coverage_vectors;
+    cache_hits = Obs.Counter.value c_cache_hits;
+    saturations = Obs.Counter.value c_saturations;
+    armg_calls = Obs.Counter.value c_armg_calls;
+    blocking_removals = Obs.Counter.value c_blocking_removals;
+  }
 
 let diff (after : t) (before : t) =
   {

@@ -12,6 +12,9 @@
 open Castor_relational
 open Castor_logic
 open Castor_ilp
+module Obs = Castor_obs.Obs
+
+let span_learn = Obs.Span.create "learner.progol"
 
 type params = {
   clauselength : int;
@@ -168,6 +171,7 @@ let rec learn_clause ?(seed_tries = 8) (prm : params) (p : Problem.t) uncovered 
 (** [learn ?params p] runs the covering loop with Progol-style clause
     search. *)
 let learn ?(params = default_params) (p : Problem.t) =
+  Obs.Span.with_span span_learn @@ fun () ->
   let outcome =
     Covering.run
       ~target:p.Problem.target.Schema.rname

@@ -12,6 +12,9 @@
 open Castor_relational
 open Castor_logic
 open Castor_ilp
+module Obs = Castor_obs.Obs
+
+let span_learn = Obs.Span.create "learner.progolem"
 
 type params = {
   sample : int;  (** K — examples drawn per beam iteration *)
@@ -175,6 +178,7 @@ let learn_clause (prm : params) (p : Problem.t) uncovered =
 
 (** [learn ?params p] runs ProGolem's covering loop. *)
 let learn ?(params = default_params) (p : Problem.t) =
+  Obs.Span.with_span span_learn @@ fun () ->
   let outcome =
     Covering.run
       ~target:p.Problem.target.Schema.rname

@@ -25,6 +25,20 @@
     A step budget bounds pathological instances; exceeding it
     conservatively reports non-subsumption. *)
 
+module Obs = Castor_obs.Obs
+
+(* Observability of the engine (Section 7.5.3: subsumption is the
+   learning hot path). [steps] is total backtracking-search steps;
+   budget exhaustions mark the conservative "report non-subsumption"
+   exits that any perf work on the engine must watch. *)
+let c_calls = Obs.Counter.create "logic.subsume.calls"
+
+let c_steps = Obs.Counter.create "logic.subsume.steps"
+
+let c_budget_exhausted = Obs.Counter.create "logic.subsume.budget_exhausted"
+
+let c_ac_refuted = Obs.Counter.create "logic.subsume.ac_refuted"
+
 type groups = (string, Atom.t array) Hashtbl.t
 
 let group_body (body : Atom.t list) : groups =
@@ -257,6 +271,7 @@ let search ~max_steps bindings (ordered : plit array) =
   in
   let steps = ref 0 in
   let trail = ref [] in
+  Fun.protect ~finally:(fun () -> Obs.Counter.add c_steps !steps) @@ fun () ->
   let rec go i =
     if i >= n then true
     else begin
@@ -291,6 +306,7 @@ let search ~max_steps bindings (ordered : plit array) =
 (** [subsuming_subst ?max_steps c d] returns a witness θ with
     [Cθ ⊆ D], or [None]. Heads must match. *)
 let subsuming_subst ?(max_steps = 60_000) (c : Clause.t) (d : Clause.t) =
+  Obs.Counter.incr c_calls;
   match Subst.match_atom Subst.empty c.Clause.head d.Clause.head with
   | None -> None
   | Some s0 -> (
@@ -298,7 +314,9 @@ let subsuming_subst ?(max_steps = 60_000) (c : Clause.t) (d : Clause.t) =
       else
         let groups = group_body d.Clause.body in
         match compile_pattern c.Clause.body groups with
-        | exception Refuted -> None
+        | exception Refuted ->
+            Obs.Counter.incr c_ac_refuted;
+            None
         | plits, var_ids, n_vars -> (
             let bindings = Array.make n_vars None in
             (* seed with the head unifier *)
@@ -318,12 +336,16 @@ let subsuming_subst ?(max_steps = 60_000) (c : Clause.t) (d : Clause.t) =
             if not ok then None
             else
               match arc_consistent bindings plits with
-              | exception Refuted -> None
+              | exception Refuted ->
+                  Obs.Counter.incr c_ac_refuted;
+                  None
               | () -> (
                   let ordered = order_literals bindings plits in
                   match
                     try search ~max_steps bindings ordered
-                    with Budget_exhausted -> None
+                    with Budget_exhausted ->
+                      Obs.Counter.incr c_budget_exhausted;
+                      None
                   with
                   | None -> None
                   | Some bindings ->

@@ -201,6 +201,57 @@ let coverage_suite =
         check Alcotest.int "three" 3 (Coverage.length sub);
         check Alcotest.bool "same bottoms" true
           (sub.Coverage.bottoms.(1) == cov.Coverage.bottoms.(2)));
+    tc "masked vectors agree with the unmasked vector, cache on and off"
+      (fun () ->
+        (* gender restriction gives a clause with mixed coverage *)
+        let grandfather =
+          Clause.make
+            (Atom.make "grandparent" [ v "x"; v "z" ])
+            (grandparent_clause.Clause.body
+            @ [ Atom.make "gender" [ v "x"; k "male" ] ])
+        in
+        let cov = coverage_fixture () in
+        let n = Coverage.length cov in
+        List.iter
+          (fun cache_on ->
+            Coverage.set_cache cov cache_on;
+            Coverage.clear_cache cov;
+            let full = Coverage.vector cov grandfather in
+            let covered = Coverage.count full in
+            check Alcotest.bool "coverage is mixed" true
+              (covered > 0 && covered < n);
+            let mask = Array.init n (fun i -> i mod 3 <> 1) in
+            check
+              Alcotest.(array bool)
+              "within = unmasked restricted to mask"
+              (Array.mapi (fun i b -> b && mask.(i)) full)
+              (Coverage.vector ~within:mask cov grandfather);
+            (* assuming a subset of the truly covered examples must not
+               change the answer, only skip their tests *)
+            let known = Array.mapi (fun i b -> b && i mod 2 = 0) full in
+            check
+              Alcotest.(array bool)
+              "assume subset gives the exact vector" full
+              (Coverage.vector ~assume:known cov grandfather))
+          [ true; false ]);
+    tc "subsumption-test counter is exact with 4 forced domains" (fun () ->
+        let cov = coverage_fixture () in
+        Coverage.set_cache cov false;
+        let n = Coverage.length cov in
+        let seq = Coverage.vector cov grandparent_clause in
+        Coverage.set_domains cov 4;
+        Coverage.set_force_parallel cov true;
+        for round = 1 to 20 do
+          let before = Stats.snapshot () in
+          let par = Coverage.vector cov grandparent_clause in
+          let d = Stats.diff (Stats.snapshot ()) before in
+          check Alcotest.(array bool)
+            (Printf.sprintf "round %d: parallel vector = sequential" round)
+            seq par;
+          check Alcotest.int
+            (Printf.sprintf "round %d: exactly one test per example" round)
+            n d.Stats.subsumption_tests
+        done);
   ]
 
 (* ------------------------------ parallel ---------------------------- *)
@@ -218,6 +269,28 @@ let parallel_suite =
       (fun l ->
         let arr = Array.of_list l in
         Parallel.map ~domains:3 (fun x -> x * x) arr = Array.map (fun x -> x * x) arr);
+    tc "forced init equals Array.init across sizes and domain counts"
+      (fun () ->
+        let f i = (i * 31) mod 17 in
+        List.iter
+          (fun n ->
+            List.iter
+              (fun domains ->
+                check Alcotest.(array int)
+                  (Printf.sprintf "n=%d domains=%d" n domains)
+                  (Array.init n f)
+                  (Parallel.init ~force:true ~domains n f))
+              [ 1; 2; 4; 8 ])
+          [ 0; 1; 7; 8; 1000 ]);
+    tc "a raising f propagates and does not poison the pool" (fun () ->
+        Alcotest.check_raises "first exception re-raised" (Failure "boom")
+          (fun () ->
+            ignore
+              (Parallel.init ~force:true ~domains:4 100 (fun i ->
+                   if i = 50 then failwith "boom" else i)));
+        (* the workers survived the failed batch and still compute *)
+        check Alcotest.(array int) "pool still works" (Array.init 100 Fun.id)
+          (Parallel.init ~force:true ~domains:4 100 Fun.id));
   ]
 
 (* ------------------------------ scoring ----------------------------- *)

@@ -333,6 +333,92 @@ let rewrite_suite =
         Tuple.Set.equal (Eval.answers inst h) (Eval.answers j h'));
   ]
 
+(* ---------------- differential subsumption battery ---------------- *)
+
+(* Seeded generator of clause pairs, swept over signature shapes. The
+   relation name carries its arity ("r2" is binary) so every occurrence
+   of a relation is arity-consistent, as the compiled engine assumes.
+   Targets mix ground constants with frozen variables (z0, z1): both
+   engines treat target variables as constants, and the battery checks
+   they do so identically. *)
+let differential_suite =
+  let pair_gen st ~vars ~consts ~max_arity ~body_len =
+    let pattern_term () =
+      if Random.State.bool st then
+        Term.Var (Printf.sprintf "x%d" (Random.State.int st vars))
+      else Term.Const (Value.str (Printf.sprintf "k%d" (Random.State.int st consts)))
+    in
+    let target_term () =
+      if Random.State.int st 100 < 15 then
+        Term.Var (Printf.sprintf "z%d" (Random.State.int st 2))
+      else
+        (* one constant beyond the pattern's pool, so some targets are
+           unreachable by any substitution *)
+        Term.Const (Value.str (Printf.sprintf "k%d" (Random.State.int st (consts + 1))))
+    in
+    let random_atom term =
+      let a = 1 + Random.State.int st max_arity in
+      atom (Printf.sprintf "r%d" a) (List.init a (fun _ -> term ()))
+    in
+    let c =
+      cl
+        (atom "t" [ pattern_term () ])
+        (List.init (Random.State.int st (body_len + 1)) (fun _ ->
+             random_atom pattern_term))
+    in
+    let d =
+      cl
+        (atom "t" [ target_term () ])
+        (List.init (Random.State.int st (body_len + 3)) (fun _ ->
+             random_atom target_term))
+    in
+    (c, d)
+  in
+  (* generous budgets on both engines so disagreement can only come
+     from the search logic, never from budget mismatch *)
+  let agree c d =
+    let opt = Subsume.subsumes ~max_steps:50_000_000 c d in
+    let naive = Subsume.subsumes_naive ~max_steps:50_000_000 c d in
+    if opt <> naive then
+      Alcotest.failf "engines disagree (optimized=%b): %s" opt
+        (clause_pair_print (c, d));
+    (* a budget-limited positive must still be a real subsumption *)
+    if Subsume.subsumes ~max_steps:200 c d && not naive then
+      Alcotest.failf "budgeted engine invented a subsumption: %s"
+        (clause_pair_print (c, d))
+  in
+  [
+    tc "optimized = naive on 600 seeded pairs across signature shapes"
+      (fun () ->
+        let st = Random.State.make [| 0x5eed |] in
+        List.iter
+          (fun (vars, consts, max_arity, body_len) ->
+            for _ = 1 to 120 do
+              let c, d = pair_gen st ~vars ~consts ~max_arity ~body_len in
+              agree c d
+            done)
+          [ (2, 2, 2, 3); (4, 3, 3, 5); (5, 2, 2, 6); (3, 4, 3, 4); (6, 3, 2, 6) ]);
+    tc "agreement on head mismatch and empty bodies" (fun () ->
+        let c_empty = cl (atom "t" [ v "x" ]) [] in
+        let d = cl (atom "t" [ k "a" ]) [ atom "r2" [ k "a"; k "b" ] ] in
+        agree c_empty d;
+        agree (cl (atom "u" [ v "x" ]) [ atom "r2" [ v "x"; v "y" ] ]) d;
+        agree c_empty (cl (atom "t" [ k "a" ]) []);
+        agree (cl (atom "t" [ k "b" ]) []) (cl (atom "t" [ k "a" ]) []));
+    tc "budget exhaustion reports false and bumps its counter" (fun () ->
+        let c = cl (atom "t" [ v "x" ]) [ atom "r2" [ v "x"; v "y" ] ] in
+        let d = cl (atom "t" [ k "a" ]) [ atom "r2" [ k "a"; k "b" ] ] in
+        let before = Castor_obs.Obs.Counter.value Subsume.c_budget_exhausted in
+        (* head matches and arc-consistency passes, so the zero-step
+           budget is exhausted on the first search step *)
+        check Alcotest.bool "gives up conservatively" false
+          (Subsume.subsumes ~max_steps:0 c d);
+        let after = Castor_obs.Obs.Counter.value Subsume.c_budget_exhausted in
+        check Alcotest.int "counted exactly once" 1 (after - before);
+        check Alcotest.bool "still subsumes with budget" true
+          (Subsume.subsumes c d));
+  ]
+
 let budget_suite =
   [
     tc "exhausted budget reports non-subsumption, generous budget succeeds"
@@ -363,5 +449,5 @@ let budget_suite =
   ]
 
 let suite =
-  term_suite @ subst_suite @ clause_suite @ subsume_suite @ lgg_suite
-  @ eval_suite @ minimize_suite @ rewrite_suite @ budget_suite
+  term_suite @ subst_suite @ clause_suite @ subsume_suite @ differential_suite
+  @ lgg_suite @ eval_suite @ minimize_suite @ rewrite_suite @ budget_suite
