@@ -311,6 +311,88 @@ let discover_cmd =
        ~doc:"Discover dependencies in a dataset and propose (de)normalizations.")
     Term.(const discover $ dataset_arg)
 
+(* ---------------------------- analyze ---------------------------- *)
+
+module Diagnostic = Castor_analysis.Diagnostic
+module Analyze = Castor_analysis.Analyze
+
+let read_file f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_rule_catalog () =
+  Fmt.pr "%-32s %-8s %s@." "RULE" "LEVEL" "DESCRIPTION";
+  List.iter
+    (fun (r : Analyze.rule) ->
+      Fmt.pr "%-32s %-8s %s@." r.Analyze.id
+        (Diagnostic.severity_string r.Analyze.severity)
+        r.Analyze.doc)
+    Analyze.rules
+
+let analyze dataset clauses_file clause_str rules json =
+  if rules then print_rule_catalog ()
+  else begin
+    let ds = dataset_of_name dataset in
+    let groups =
+      match (clauses_file, clause_str) with
+      | None, None ->
+          Analyze.dataset_checks ~base:ds.Dataset.schema
+            ~variants:ds.Dataset.variants ~target:ds.Dataset.target
+            ~const_pool_domains:(List.map fst ds.Dataset.const_pool)
+            ~no_expand_domains:ds.Dataset.no_expand_domains ()
+      | file, inline ->
+          let texts =
+            Option.to_list (Option.map (fun f -> (f, read_file f)) file)
+            @ Option.to_list (Option.map (fun s -> ("<clause>", s)) inline)
+          in
+          List.map
+            (fun (label, text) ->
+              ( label,
+                Analyze.clauses_text ~schema:ds.Dataset.schema
+                  ~target:ds.Dataset.target text ))
+            texts
+    in
+    let all = List.concat_map snd groups in
+    if json then print_endline (Diagnostic.to_json all)
+    else begin
+      List.iter
+        (fun (label, diags) ->
+          if diags <> [] then begin
+            Fmt.pr "== %s ==@." label;
+            print_string (Diagnostic.render diags)
+          end)
+        groups;
+      if all = [] then Fmt.pr "analyze: no diagnostics@."
+      else
+        Fmt.pr "analyze: %d diagnostic(s), %d error(s) total@."
+          (List.length all)
+          (List.length (Diagnostic.errors all))
+    end;
+    if Diagnostic.has_errors all then exit 1
+  end
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static-analysis pass: schema, transformation and \
+          inferred-mode lints over a dataset, or clause lints over a file or \
+          inline clause. Exits nonzero when errors are found.")
+    Term.(
+      const analyze $ dataset_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "clauses" ] ~doc:"Lint the clauses in $(docv)." ~docv:"FILE")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "clause" ] ~doc:"Lint one inline clause string.")
+      $ Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalog and exit.")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text."))
+
 (* ----------------------------------------------------------------- *)
 
 let () =
@@ -320,5 +402,5 @@ let () =
        (Cmd.group (Cmd.info "castor" ~doc)
           [
             learn_cmd; schemas_cmd; transform_cmd; oracle_cmd; export_cmd;
-            import_cmd; sql_cmd; discover_cmd; stats_cmd;
+            import_cmd; sql_cmd; discover_cmd; stats_cmd; analyze_cmd;
           ]))

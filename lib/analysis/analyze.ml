@@ -1,0 +1,146 @@
+(** Entry points of the static-analysis pass, plus the rule catalog.
+
+    [castor_cli analyze], the pre-learning gate in
+    {!Castor_learners.Problem} and the bottom-clause pruner in
+    {!Castor_ilp.Bottom} all go through this module, so the set of
+    enforced invariants lives in one place. *)
+
+open Castor_relational
+open Castor_logic
+
+(** Catalog entry: stable id, severity the rule fires at, and a
+    one-line description (rendered by [castor_cli analyze --rules]). *)
+type rule = { id : string; severity : Diagnostic.severity; doc : string }
+
+let rules : rule list =
+  [
+    (* clause lints *)
+    { id = "clause/unsafe"; severity = Error;
+      doc = "a head variable never occurs in the body (range restriction fails, Section 7.3)" };
+    { id = "clause/disconnected"; severity = Warning;
+      doc = "a body literal is not reachable from the head through shared variables" };
+    { id = "clause/singleton-var"; severity = Info;
+      doc = "a variable occurs exactly once in the clause (unused existential, likely a typo)" };
+    { id = "clause/duplicate-literal"; severity = Warning;
+      doc = "a body literal appears more than once verbatim" };
+    { id = "clause/redundant-literal"; severity = Warning;
+      doc = "a body literal is θ-subsumed by the rest of the clause (Section 7.5.5)" };
+    { id = "clause/determinacy-depth"; severity = Warning;
+      doc = "the estimated join depth exceeds the saturation depth bound" };
+    { id = "clause/unknown-relation"; severity = Error;
+      doc = "a literal uses a relation the schema does not declare" };
+    { id = "clause/arity-mismatch"; severity = Error;
+      doc = "a literal's arity differs from the declared relation arity" };
+    { id = "clause/domain-conflict"; severity = Warning;
+      doc = "one variable is used at attribute positions of different domains" };
+    { id = "parse/error"; severity = Error;
+      doc = "the input failed to parse (message carries line and column)" };
+    (* schema lints *)
+    { id = "schema/duplicate-relation"; severity = Error;
+      doc = "a relation symbol is declared twice" };
+    { id = "schema/unknown-relation"; severity = Error;
+      doc = "an FD or IND references an undeclared relation" };
+    { id = "schema/unknown-attribute"; severity = Error;
+      doc = "an FD or IND references an attribute outside the relation's sort" };
+    { id = "schema/ind-arity-mismatch"; severity = Error;
+      doc = "the two sides of an IND list different numbers of attributes" };
+    { id = "schema/ind-domain-mismatch"; severity = Warning;
+      doc = "an IND links attributes of different domains" };
+    { id = "schema/cyclic-class"; severity = Error;
+      doc = "an inclusion class joins cyclically (Proposition 7.4 precondition fails)" };
+    { id = "schema/subset-ind-cycle"; severity = Warning;
+      doc = "subset INDs form a directed cycle, so the subset-mode chase is unbounded" };
+    { id = "schema/fd-ind-mismatch"; severity = Warning;
+      doc = "an FD inside an IND-with-equality's attributes is not implied on the other side" };
+    { id = "schema/trivial-fd"; severity = Info;
+      doc = "an FD with rhs ⊆ lhs constrains nothing" };
+    (* transformation lints *)
+    { id = "transform/unknown-relation"; severity = Error;
+      doc = "a (de)composition references an undeclared relation" };
+    { id = "transform/unknown-attribute"; severity = Error;
+      doc = "a decomposition part lists an attribute outside the relation's sort" };
+    { id = "transform/parts-dont-cover"; severity = Error;
+      doc = "decomposition parts do not cover the relation's sort (Definition 4.1)" };
+    { id = "transform/cyclic-join"; severity = Error;
+      doc = "the (re)construction join is cyclic (GYO precondition fails)" };
+    { id = "transform/disconnected-join"; severity = Error;
+      doc = "a composed part shares no attribute with the preceding parts" };
+    (* mode lints *)
+    { id = "mode/target-domain-unknown"; severity = Error;
+      doc = "a target attribute's domain cannot be bound by any schema relation" };
+    { id = "mode/const-domain-unknown"; severity = Warning;
+      doc = "a constant pool names a domain no relation attribute uses" };
+    { id = "mode/no-expand-domain-unknown"; severity = Warning;
+      doc = "a frontier filter names a domain no relation attribute uses" };
+    { id = "mode/no-input-positions"; severity = Info;
+      doc = "a relation has no key or IND-linked attribute to enter literals through" };
+  ]
+
+let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules
+
+(* ---------------- aggregate checks --------------------------------- *)
+
+let schema = Schema_lint.check
+
+let transform = Schema_lint.check_transform
+
+let clause = Clause_lint.check
+
+(** [definition ?schema ?target ?depth_limit d] lints every clause of
+    a Horn definition. *)
+let definition ?schema ?target ?depth_limit (def : Clause.definition) =
+  List.concat_map (fun c -> clause ?schema ?target ?depth_limit c) def.Clause.clauses
+
+(** [clauses_text ?schema ?target ?depth_limit text] parses clauses
+    from [text] and lints each with its source span attached; a parse
+    failure becomes a single [clause/unknown-relation]-independent
+    error diagnostic carrying the parser's position message. *)
+let clauses_text ?schema ?target ?depth_limit text =
+  match Parse.definition_spanned text with
+  | exception Castor_relational.Lexer.Error msg ->
+      [
+        Diagnostic.make ~rule:"parse/error" ~severity:Diagnostic.Error
+          ~subject:"input" "%s" msg;
+      ]
+  | spanned ->
+      List.concat_map
+        (fun (c, pos) ->
+          clause ?schema ?target ?depth_limit
+            ~span:(Diagnostic.span_of_pos pos) c)
+        spanned
+
+(** [problem_config ...] — the pre-learning gate body: schema lints
+    plus mode lints of the learner configuration. *)
+let problem_config ?mode ~(target : Schema.relation) ~const_pool_domains
+    ~no_expand_domains (s : Schema.t) =
+  schema ?mode s
+  @ Modes.lint_config ~const_domains:no_expand_domains ~target ~const_pool_domains
+      ~no_expand_domains s
+
+(** [dataset_checks ~schema ~variants ~target ~const_pool_domains
+    ~no_expand_domains ()] lints a dataset: base schema, every variant
+    transformation (against the base schema) and resulting schema, and
+    the problem configuration. Returns labelled groups for display. *)
+let dataset_checks ?mode ~(base : Schema.t) ~(variants : (string * Transform.t) list)
+    ~(target : Schema.relation) ~const_pool_domains ~no_expand_domains () =
+  let base_diags =
+    ( "schema (base)",
+      problem_config ?mode ~target ~const_pool_domains ~no_expand_domains base )
+  in
+  let variant_diags =
+    List.filter_map
+      (fun (vname, tr) ->
+        if tr = [] then None
+        else
+          let tds = transform base tr in
+          let sds =
+            if Diagnostic.has_errors tds then []
+            else
+              match Transform.apply_schema base tr with
+              | s -> schema ?mode s
+              | exception _ -> []
+          in
+          Some ("variant " ^ vname, tds @ sds))
+      variants
+  in
+  base_diags :: variant_diags

@@ -1,0 +1,107 @@
+(** Diagnostics emitted by the static-analysis pass: a severity, a
+    stable rule id (the catalog lives in {!Analyze.rules}), the
+    subject being linted (a clause, relation or problem component), a
+    human message, and an optional source span taken from
+    {!Castor_relational.Lexer} positions when the subject was parsed
+    from text.
+
+    Rendering mirrors {!Castor_obs.Obs}: a text block for terminals
+    and a JSON encoding for tooling, both dependency-free. *)
+
+type severity = Error | Warning | Info
+
+(** 1-based source position of the subject, when it came from text. *)
+type span = { line : int; col : int }
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["clause/unsafe"] *)
+  severity : severity;
+  subject : string;  (** what is being flagged, e.g. the clause text *)
+  message : string;
+  span : span option;
+}
+
+let make ?span ~rule ~severity ~subject fmt =
+  Fmt.kstr (fun message -> { rule; severity; subject; message; span }) fmt
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* errors first, then warnings, then infos; stable within a level *)
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let by_severity ds =
+  List.stable_sort
+    (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity))
+    ds
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let span_of_pos (p : Castor_relational.Lexer.pos) =
+  { line = p.Castor_relational.Lexer.line; col = p.Castor_relational.Lexer.col }
+
+let pp_span ppf s = Fmt.pf ppf "%d:%d" s.line s.col
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s]%a %s: %s" (severity_string d.severity) d.rule
+    Fmt.(option (any " " ++ pp_span))
+    d.span d.subject d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+(** Text rendering of a diagnostic list plus a one-line summary, in
+    severity order. *)
+let render ds =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d -> Buffer.add_string buf (to_string d ^ "\n"))
+    (by_severity ds);
+  Buffer.add_string buf
+    (Fmt.str "%d error(s), %d warning(s), %d info(s)\n" (count Error ds)
+       (count Warning ds) (count Info ds));
+  Buffer.contents buf
+
+(* minimal JSON encoder, same contract as Obs.to_json *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** JSON rendering:
+    [{"diagnostics":[...],"errors":n,"warnings":n,"infos":n}]. *)
+let to_json ds =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "{\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+      pf "%s{\"rule\":\"%s\",\"severity\":\"%s\",\"subject\":\"%s\",\"message\":\"%s\""
+        (if i > 0 then "," else "")
+        (json_escape d.rule)
+        (severity_string d.severity)
+        (json_escape d.subject) (json_escape d.message);
+      (match d.span with
+      | Some s -> pf ",\"line\":%d,\"col\":%d" s.line s.col
+      | None -> ());
+      pf "}")
+    (by_severity ds);
+  pf "],\"errors\":%d,\"warnings\":%d,\"infos\":%d}" (count Error ds)
+    (count Warning ds) (count Info ds);
+  Buffer.contents buf

@@ -1,0 +1,401 @@
+(** Schema- and transformation-level lints.
+
+    Castor's IND chase and (de)composition machinery assume the
+    constraint set Σ is internally consistent: INDs reference declared
+    relations and attributes with matching arities, inclusion classes
+    join acyclically (the Proposition 7.4 precondition that makes the
+    chase terminate without a global consistency scan), subset INDs do
+    not form directed cycles (which would make the logical chase
+    non-terminating in [`Subset_too] mode), and FDs transfer
+    coherently across INDs with equality. Transformations are checked
+    against Definition 4.1 before they are applied.
+
+    Rule ids: [schema/unknown-relation], [schema/unknown-attribute],
+    [schema/duplicate-relation], [schema/ind-arity-mismatch],
+    [schema/ind-domain-mismatch], [schema/cyclic-class],
+    [schema/subset-ind-cycle], [schema/fd-ind-mismatch],
+    [schema/trivial-fd], [transform/unknown-relation],
+    [transform/parts-dont-cover], [transform/unknown-attribute],
+    [transform/cyclic-join], [transform/disconnected-join]. *)
+
+open Castor_relational
+
+let d ~rule ~severity ~subject fmt = Diagnostic.make ~rule ~severity ~subject fmt
+
+let find_rel (s : Schema.t) name =
+  List.find_opt (fun (r : Schema.relation) -> String.equal r.Schema.rname name) s.Schema.relations
+
+let has_attr (r : Schema.relation) a =
+  List.exists (fun (x : Schema.attribute) -> String.equal x.Schema.aname a) r.Schema.attrs
+
+let domain_of (r : Schema.relation) a =
+  List.find_map
+    (fun (x : Schema.attribute) ->
+      if String.equal x.Schema.aname a then Some x.Schema.domain else None)
+    r.Schema.attrs
+
+(* ---------------- declaration well-formedness ---------------------- *)
+
+let duplicate_relations (s : Schema.t) =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (r : Schema.relation) ->
+      if Hashtbl.mem seen r.Schema.rname then
+        Some
+          (d ~rule:"schema/duplicate-relation" ~severity:Diagnostic.Error
+             ~subject:r.Schema.rname "relation %s is declared more than once"
+             r.Schema.rname)
+      else begin
+        Hashtbl.add seen r.Schema.rname ();
+        None
+      end)
+    s.Schema.relations
+
+let fd_decls (s : Schema.t) =
+  List.concat_map
+    (fun (fd : Schema.fd) ->
+      let subject =
+        Fmt.str "fd %s: %a -> %a" fd.Schema.fd_rel
+          Fmt.(list ~sep:comma string)
+          fd.Schema.fd_lhs
+          Fmt.(list ~sep:comma string)
+          fd.Schema.fd_rhs
+      in
+      match find_rel s fd.Schema.fd_rel with
+      | None ->
+          [
+            d ~rule:"schema/unknown-relation" ~severity:Diagnostic.Error ~subject
+              "fd declared on unknown relation %s" fd.Schema.fd_rel;
+          ]
+      | Some r ->
+          let missing =
+            List.filter (fun a -> not (has_attr r a)) (fd.Schema.fd_lhs @ fd.Schema.fd_rhs)
+          in
+          let unknown =
+            List.map
+              (fun a ->
+                d ~rule:"schema/unknown-attribute" ~severity:Diagnostic.Error
+                  ~subject "attribute %s is not in sort(%s)" a fd.Schema.fd_rel)
+              (List.sort_uniq String.compare missing)
+          in
+          let trivial =
+            if
+              missing = []
+              && List.for_all (fun a -> List.mem a fd.Schema.fd_lhs) fd.Schema.fd_rhs
+            then
+              [
+                d ~rule:"schema/trivial-fd" ~severity:Diagnostic.Info ~subject
+                  "fd is trivial (rhs ⊆ lhs) and constrains nothing";
+              ]
+            else []
+          in
+          unknown @ trivial)
+    s.Schema.fds
+
+let ind_decls (s : Schema.t) =
+  List.concat_map
+    (fun (i : Schema.ind) ->
+      let subject = Fmt.str "ind %a" Schema.pp_ind i in
+      let side rel attrs =
+        match find_rel s rel with
+        | None ->
+            ( [
+                d ~rule:"schema/unknown-relation" ~severity:Diagnostic.Error
+                  ~subject "ind references unknown relation %s" rel;
+              ],
+              None )
+        | Some r ->
+            ( List.map
+                (fun a ->
+                  d ~rule:"schema/unknown-attribute" ~severity:Diagnostic.Error
+                    ~subject "attribute %s is not in sort(%s)" a rel)
+                (List.filter (fun a -> not (has_attr r a)) attrs),
+              Some r )
+      in
+      let sub_diags, sub_rel = side i.Schema.sub_rel i.Schema.sub_attrs in
+      let sup_diags, sup_rel = side i.Schema.sup_rel i.Schema.sup_attrs in
+      let arity =
+        if List.length i.Schema.sub_attrs <> List.length i.Schema.sup_attrs then
+          [
+            d ~rule:"schema/ind-arity-mismatch" ~severity:Diagnostic.Error ~subject
+              "ind sides list %d vs %d attributes"
+              (List.length i.Schema.sub_attrs)
+              (List.length i.Schema.sup_attrs);
+          ]
+        else []
+      in
+      let domains =
+        match sub_rel, sup_rel, arity with
+        | Some rsub, Some rsup, [] when sub_diags = [] && sup_diags = [] ->
+            List.concat
+              (List.map2
+                 (fun a b ->
+                   match domain_of rsub a, domain_of rsup b with
+                   | Some da, Some db when not (String.equal da db) ->
+                       [
+                         d ~rule:"schema/ind-domain-mismatch"
+                           ~severity:Diagnostic.Warning ~subject
+                           "linked attributes %s:%s and %s:%s have different domains"
+                           a da b db;
+                       ]
+                   | _ -> [])
+                 i.Schema.sub_attrs i.Schema.sup_attrs)
+        | _ -> []
+      in
+      sub_diags @ sup_diags @ arity @ domains)
+    s.Schema.inds
+
+(* ---------------- chase termination -------------------------------- *)
+
+(** Proposition 7.4 precondition: the sorts of each inclusion class
+    must join acyclically (GYO), otherwise the chase needs a global
+    consistency scan and bottom clauses stop corresponding across
+    (de)compositions. *)
+let cyclic_classes ?(mode = `Equality_only) (s : Schema.t) =
+  match Inclusion.build ~mode s with
+  | exception _ -> [] (* unresolvable schema already reported above *)
+  | inc ->
+      List.filter_map
+        (fun cls ->
+          if Hypergraph.is_acyclic (List.map (Schema.sort s) cls) then None
+          else
+            Some
+              (d ~rule:"schema/cyclic-class" ~severity:Diagnostic.Error
+                 ~subject:(String.concat ", " cls)
+                 "inclusion class joins cyclically: the IND chase needs a global \
+                  scan and Proposition 7.4 does not apply"))
+        (Inclusion.classes inc)
+
+(** Directed cycles through subset INDs (sub → sup edges, ignoring
+    symmetric equality pairs): in [`Subset_too] mode the chase follows
+    these edges and a cycle means it is only bounded by the literal
+    caps, not by the data. *)
+let subset_ind_cycles (s : Schema.t) =
+  let edges =
+    List.filter_map
+      (fun (i : Schema.ind) ->
+        if i.Schema.equality then None else Some (i.Schema.sub_rel, i.Schema.sup_rel))
+      s.Schema.inds
+  in
+  let succs n = List.filter_map (fun (a, b) -> if String.equal a n then Some b else None) edges in
+  let cycle_nodes = ref [] in
+  let nodes = List.sort_uniq String.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+  List.iter
+    (fun start ->
+      (* DFS from [start]; a path back to [start] is a cycle *)
+      let visited = Hashtbl.create 8 in
+      let rec dfs n =
+        List.exists
+          (fun m ->
+            String.equal m start
+            ||
+            if Hashtbl.mem visited m then false
+            else begin
+              Hashtbl.replace visited m ();
+              dfs m
+            end)
+          (succs n)
+      in
+      if dfs start && not (List.mem start !cycle_nodes) then
+        cycle_nodes := start :: !cycle_nodes)
+    nodes;
+  match List.sort String.compare !cycle_nodes with
+  | [] -> []
+  | ns ->
+      [
+        d ~rule:"schema/subset-ind-cycle" ~severity:Diagnostic.Warning
+          ~subject:(String.concat ", " ns)
+          "subset INDs form a directed cycle: the chase in subset mode is only \
+           bounded by its literal caps";
+      ]
+
+(* ---------------- FD / IND interaction ----------------------------- *)
+
+(** For an IND with equality [R\[X\] = S\[Y\]] the two sides store the
+    same column set, so an FD of [R] that lives entirely inside [X]
+    must hold — and be derivable — on [S] after renaming [X] to [Y];
+    otherwise the declared constraints disagree about the shared data
+    and {!Castor_relational.Normalize}'s advisors will propose
+    transformations that are not actually lossless. *)
+let fd_ind_interaction (s : Schema.t) =
+  List.concat_map
+    (fun (i : Schema.ind) ->
+      if
+        (not i.Schema.equality)
+        || List.length i.Schema.sub_attrs <> List.length i.Schema.sup_attrs
+      then []
+      else
+        let subject = Fmt.str "ind %a" Schema.pp_ind i in
+        let check src_rel src_attrs dst_rel dst_attrs =
+          let rename a =
+            let rec go xs ys =
+              match xs, ys with
+              | x :: _, y :: _ when String.equal x a -> Some y
+              | _ :: xs, _ :: ys -> go xs ys
+              | _ -> None
+            in
+            go src_attrs dst_attrs
+          in
+          let dst_fds =
+            List.filter (fun (fd : Schema.fd) -> String.equal fd.Schema.fd_rel dst_rel) s.Schema.fds
+          in
+          List.filter_map
+            (fun (fd : Schema.fd) ->
+              if not (String.equal fd.Schema.fd_rel src_rel) then None
+              else
+                let attrs = fd.Schema.fd_lhs @ fd.Schema.fd_rhs in
+                if not (List.for_all (fun a -> List.mem a src_attrs) attrs) then None
+                else
+                  match List.map rename fd.Schema.fd_lhs, List.map rename fd.Schema.fd_rhs with
+                  | lhs, rhs
+                    when List.for_all Option.is_some lhs && List.for_all Option.is_some rhs ->
+                      let lhs = List.filter_map Fun.id lhs
+                      and rhs = List.filter_map Fun.id rhs in
+                      let translated = { Schema.fd_rel = dst_rel; fd_lhs = lhs; fd_rhs = rhs } in
+                      if Normalize.implies dst_fds translated then None
+                      else
+                        Some
+                          (d ~rule:"schema/fd-ind-mismatch" ~severity:Diagnostic.Warning
+                             ~subject
+                             "fd %s: %a -> %a holds on %s but its image on %s is not \
+                              implied by the declared fds"
+                             src_rel
+                             Fmt.(list ~sep:comma string)
+                             fd.Schema.fd_lhs
+                             Fmt.(list ~sep:comma string)
+                             fd.Schema.fd_rhs src_rel dst_rel)
+                  | _ -> None)
+            s.Schema.fds
+        in
+        check i.Schema.sub_rel i.Schema.sub_attrs i.Schema.sup_rel i.Schema.sup_attrs
+        @ check i.Schema.sup_rel i.Schema.sup_attrs i.Schema.sub_rel i.Schema.sub_attrs)
+    s.Schema.inds
+
+(* ---------------- transformations ---------------------------------- *)
+
+let pp_op = Transform.pp_op
+
+(** Definition 4.1 / Proposition 7.4 preconditions of one operation
+    against the schema it would be applied to. *)
+let check_op (s : Schema.t) (op : Transform.op) =
+  match op with
+  | Transform.Decompose { rel; parts } -> (
+      let subject = Fmt.str "%a" pp_op op in
+      match find_rel s rel with
+      | None ->
+          [
+            d ~rule:"transform/unknown-relation" ~severity:Diagnostic.Error
+              ~subject "decomposition of unknown relation %s" rel;
+          ]
+      | Some r ->
+          let sort = List.map (fun (a : Schema.attribute) -> a.Schema.aname) r.Schema.attrs in
+          let unknown_attrs =
+            List.concat_map
+              (fun (pname, pattrs) ->
+                List.filter_map
+                  (fun a ->
+                    if List.mem a sort then None
+                    else
+                      Some
+                        (d ~rule:"transform/unknown-attribute"
+                           ~severity:Diagnostic.Error ~subject
+                           "part %s lists attribute %s not in sort(%s)" pname a rel))
+                  pattrs)
+              parts
+          in
+          let covered = List.concat_map snd parts in
+          let cover =
+            match List.filter (fun a -> not (List.mem a covered)) sort with
+            | [] -> []
+            | missing ->
+                [
+                  d ~rule:"transform/parts-dont-cover" ~severity:Diagnostic.Error
+                    ~subject "parts do not cover attributes %a of %s"
+                    Fmt.(list ~sep:comma string)
+                    missing rel;
+                ]
+          in
+          let acyclic =
+            if unknown_attrs <> [] || cover <> [] then []
+            else if Hypergraph.is_acyclic (List.map snd parts) then []
+            else
+              [
+                d ~rule:"transform/cyclic-join" ~severity:Diagnostic.Error ~subject
+                  "the reconstruction join of the parts is cyclic (Definition 4.1 \
+                   requires GYO-acyclicity)";
+              ]
+          in
+          unknown_attrs @ cover @ acyclic)
+  | Transform.Compose { parts; into = _ } -> (
+      let subject = Fmt.str "%a" pp_op op in
+      let missing = List.filter (fun p -> find_rel s p = None) parts in
+      match missing with
+      | _ :: _ ->
+          List.map
+            (fun p ->
+              d ~rule:"transform/unknown-relation" ~severity:Diagnostic.Error
+                ~subject "composition of unknown relation %s" p)
+            missing
+      | [] ->
+          let sorts = List.map (Schema.sort s) parts in
+          let acyclic =
+            if Hypergraph.is_acyclic sorts then []
+            else
+              [
+                d ~rule:"transform/cyclic-join" ~severity:Diagnostic.Error ~subject
+                  "the composition join is cyclic (Proposition 7.4 precondition \
+                   fails)";
+              ]
+          in
+          (* every part after the first must share an attribute with an
+             earlier part, else the natural join degenerates to a
+             cartesian product *)
+          let disconnected =
+            let rec go seen = function
+              | [] -> []
+              | (p, sort) :: rest ->
+                  let joins = List.exists (fun a -> List.mem a seen) sort in
+                  let diags =
+                    if seen = [] || joins then []
+                    else
+                      [
+                        d ~rule:"transform/disconnected-join"
+                          ~severity:Diagnostic.Error ~subject
+                          "part %s shares no attribute with the preceding parts \
+                           (cartesian product)"
+                          p;
+                      ]
+                  in
+                  diags @ go (seen @ sort) rest
+            in
+            go [] (List.combine parts sorts)
+          in
+          acyclic @ disconnected)
+
+(** [check_transform s tr] lints a whole transformation, threading the
+    schema through the ops so later ops are checked against the schema
+    produced by earlier ones. *)
+let check_transform (s : Schema.t) (tr : Transform.t) =
+  let _, diags =
+    List.fold_left
+      (fun (s, acc) op ->
+        let ds = check_op s op in
+        let s' =
+          if ds = [] then
+            match Transform.apply_op_schema s op with
+            | s' -> s'
+            | exception _ -> s
+          else s
+        in
+        (s', acc @ ds))
+      (s, []) tr
+  in
+  diags
+
+(* ---------------- entry point -------------------------------------- *)
+
+(** All schema lints. [mode] selects which INDs the chase-termination
+    check considers (mirrors {!Castor_relational.Inclusion.mode}). *)
+let check ?mode (s : Schema.t) =
+  duplicate_relations s @ fd_decls s @ ind_decls s @ cyclic_classes ?mode s
+  @ subset_ind_cycles s @ fd_ind_interaction s

@@ -102,7 +102,12 @@ let learn_clause (prm : params) (plan : Plan.t option ref) (p : Problem.t)
        is re-derived on every database interaction, as when the
        bottom-clause logic is re-interpreted per call (Section 7.5.2) *)
     let expand r tu = Plan.expand (get_plan ()) p.Problem.instance r tu in
-    let bc = Bottom.bottom_clause ~expand ~params p.Problem.instance e in
+    (* the analysis pruner drops θ-subsumed literals before ARMG; it is
+       a sound prefix of the θ-reduction below, so with minimization on
+       the resulting clause is identical and only the counters move *)
+    let bc =
+      Bottom.bottom_clause ~expand ~prune:true ~params p.Problem.instance e
+    in
     if prm.minimize_bottom then Minimize.reduce bc else bc
   in
   let armg_repair c = Ind_repair.repair (get_plan ()) c in

@@ -162,12 +162,12 @@ let import ~name dir =
         match Lexer.next c with
         | Lexer.Int n -> Value.int n
         | Lexer.Ident s -> Value.str s
-        | t -> Lexer.error "expected constant in example, found %a" Lexer.pp_token t
+        | t -> Lexer.err c "expected constant in example, found %a" Lexer.pp_token t
       in
       match Lexer.next c with
       | Lexer.Comma -> args (v :: acc)
       | Lexer.Rparen -> List.rev (v :: acc)
-      | t -> Lexer.error "expected ',' or ')' in example, found %a" Lexer.pp_token t
+      | t -> Lexer.err c "expected ',' or ')' in example, found %a" Lexer.pp_token t
     in
     let vs = args [] in
     Lexer.expect c Lexer.Dot;
@@ -187,7 +187,7 @@ let import ~name dir =
           match Lexer.next c with
           | Lexer.Comma -> attrs acc
           | Lexer.Rparen -> List.rev acc
-          | t -> Lexer.error "expected ',' or ')' in target, found %a" Lexer.pp_token t
+          | t -> Lexer.err c "expected ',' or ')' in target, found %a" Lexer.pp_token t
         in
         let attrs = attrs [] in
         Lexer.expect c Lexer.Dot;
@@ -199,7 +199,7 @@ let import ~name dir =
     | Lexer.Ident "neg" ->
         neg := parse_example () :: !neg;
         go ()
-    | t -> Lexer.error "expected 'target', 'pos' or 'neg', found %a" Lexer.pp_token t
+    | t -> Lexer.err c "expected 'target', 'pos' or 'neg', found %a" Lexer.pp_token t
   in
   go ();
   match !target with

@@ -25,6 +25,15 @@ module Obs = Castor_obs.Obs
 
 let span_saturation = Obs.Span.create "ilp.bottom.saturation"
 
+(* Static-analysis post-pass: literals of the variabilized bottom
+   clause dropped because they are θ-subsumed by the rest of the
+   clause (Clause_lint's absorbed-literal rule). Pruned literals never
+   reach ARMG, shrinking the Subsume hot path; the counters make the
+   win measurable in the benches. *)
+let c_pruned_literals = Obs.Counter.create "analysis.pruned_literals"
+
+let c_pruned_clauses = Obs.Counter.create "analysis.pruned_clauses"
+
 type params = {
   depth : int;
   max_terms : int option;
@@ -245,8 +254,23 @@ let variabilize ~schema ~params (c : Clause.t) =
   in
   { Clause.head = conv_head c.Clause.head; body = List.map conv_body c.Clause.body }
 
-(** [bottom_clause ?expand ~params inst e] is the variabilized bottom
-    clause [⊥e]. *)
-let bottom_clause ?expand ~params inst e =
+(** [prune_redundant bc] drops statically redundant literals from a
+    variabilized bottom clause — the analysis pass's provably-safe
+    pruning: removed literals are θ-subsumed by the rest of the
+    clause, so the result is θ-equivalent to [bc] and every coverage
+    vector is unchanged. Counted under [analysis.pruned_literals]. *)
+let prune_redundant (bc : Clause.t) =
+  let pruned, n = Castor_analysis.Clause_lint.prune_redundant bc in
+  if n > 0 then begin
+    Obs.Counter.add c_pruned_literals n;
+    Obs.Counter.incr c_pruned_clauses
+  end;
+  pruned
+
+(** [bottom_clause ?expand ?prune ~params inst e] is the variabilized
+    bottom clause [⊥e]. With [~prune:true] the statically redundant
+    literals are dropped before the clause is handed to ARMG. *)
+let bottom_clause ?expand ?(prune = false) ~params inst e =
   let sat = saturation ?expand ~params inst e in
-  variabilize ~schema:(Instance.schema inst) ~params sat
+  let bc = variabilize ~schema:(Instance.schema inst) ~params sat in
+  if prune then prune_redundant bc else bc

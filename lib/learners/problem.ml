@@ -7,6 +7,26 @@
 open Castor_relational
 open Castor_logic
 open Castor_ilp
+module Diagnostic = Castor_analysis.Diagnostic
+module Obs = Castor_obs.Obs
+
+(** Raised by the [`Strict] pre-learning gate when the static analysis
+    finds error-severity diagnostics in the problem configuration. *)
+exception Rejected of Diagnostic.t list
+
+let () =
+  Printexc.register_printer (function
+    | Rejected diags ->
+        Some
+          (Fmt.str "Problem.Rejected: configuration fails static analysis@.%s"
+             (Diagnostic.render diags))
+    | _ -> None)
+
+let c_gate_runs = Obs.Counter.create "learners.gate.runs"
+
+let c_gate_errors = Obs.Counter.create "learners.gate.errors"
+
+let c_gate_warnings = Obs.Counter.create "learners.gate.warnings"
 
 type t = {
   instance : Instance.t;
@@ -33,12 +53,49 @@ let head p =
 (** Domains of the head variables, in order. *)
 let head_domains p = List.map (fun a -> a.Schema.domain) p.target.Schema.attrs
 
-(** [make ?bottom_params ?const_pool ?seed ?expand inst target train]
-    assembles a problem, precomputing the example saturations. The
-    optional [expand] hook threads Castor's IND chase into the
-    saturations used for coverage testing. *)
+(* The pre-learning gate: run the static-analysis pass over the
+   problem configuration (schema lints + inferred-mode lints) before
+   paying for the example saturations. [`Warn] reports diagnostics on
+   stderr, [`Strict] additionally raises {!Rejected} on errors,
+   [`Off] skips the analysis entirely. *)
+let run_gate gate ~(bottom_params : Bottom.params) ~const_pool instance target =
+  match gate with
+  | `Off -> ()
+  | (`Warn | `Strict) as g ->
+      Obs.Counter.incr c_gate_runs;
+      let diags =
+        Castor_analysis.Analyze.problem_config ~target
+          ~const_pool_domains:
+            (List.map fst const_pool @ bottom_params.Bottom.const_domains)
+          ~no_expand_domains:bottom_params.Bottom.no_expand_domains
+          (Instance.schema instance)
+      in
+      let errors = Diagnostic.errors diags in
+      Obs.Counter.add c_gate_errors (List.length errors);
+      Obs.Counter.add c_gate_warnings (Diagnostic.count Diagnostic.Warning diags);
+      let visible =
+        List.filter
+          (fun (d : Diagnostic.t) -> d.Diagnostic.severity <> Diagnostic.Info)
+          diags
+      in
+      if visible <> [] then
+        Fmt.epr "@[<v>castor: problem %s fails pre-learning analysis:@,%a@]@."
+          target.Schema.rname
+          Fmt.(list ~sep:cut Diagnostic.pp)
+          visible;
+      if g = `Strict && errors <> [] then raise (Rejected errors)
+
+(** [make ?bottom_params ?const_pool ?seed ?expand ?gate inst target
+    train] assembles a problem, precomputing the example saturations.
+    The optional [expand] hook threads Castor's IND chase into the
+    saturations used for coverage testing. [gate] controls the
+    pre-learning static analysis: [`Warn] (default) prints
+    warning/error diagnostics, [`Strict] raises {!Rejected} on errors,
+    [`Off] disables the check. *)
 let make ?(bottom_params = Bottom.default_params) ?(const_pool = []) ?(seed = 42)
-    ?expand ?(max_steps = 40_000) instance target (train : Examples.t) =
+    ?expand ?(max_steps = 40_000) ?(gate = `Warn) instance target
+    (train : Examples.t) =
+  run_gate gate ~bottom_params ~const_pool instance target;
   {
     instance;
     target;

@@ -6,7 +6,12 @@
     {v
     grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
     hivActive(C) :- compound(C, A), element_N(A).
-    v} *)
+    v}
+
+    Parse errors carry the line/column of the offending token
+    ({!Lexer.Error}); {!definition_spanned} additionally reports where
+    each clause starts, which the analysis layer uses to anchor
+    diagnostics to source positions. *)
 
 open Castor_relational
 open Lexer
@@ -17,7 +22,7 @@ let parse_term c =
   match next c with
   | Int n -> Term.Const (Value.int n)
   | Ident s -> if is_variable s then Term.Var s else Term.Const (Value.str s)
-  | t -> error "expected a term, found %a" pp_token t
+  | t -> err c "expected a term, found %a" pp_token t
 
 let parse_atom c =
   let rel = ident c in
@@ -27,7 +32,7 @@ let parse_atom c =
     match next c with
     | Comma -> args (t :: acc)
     | Rparen -> List.rev (t :: acc)
-    | tok -> error "expected ',' or ')' in atom, found %a" pp_token tok
+    | tok -> err c "expected ',' or ')' in atom, found %a" pp_token tok
   in
   Atom.make rel (args [])
 
@@ -37,7 +42,7 @@ let parse_clause_body c =
     match next c with
     | Comma -> go (a :: acc)
     | Dot -> List.rev (a :: acc)
-    | tok -> error "expected ',' or '.' in clause body, found %a" pp_token tok
+    | tok -> err c "expected ',' or '.' in clause body, found %a" pp_token tok
   in
   go []
 
@@ -46,7 +51,7 @@ let parse_clause_at c =
   match next c with
   | Dot -> Clause.make head []
   | Turnstile -> Clause.make head (parse_clause_body c)
-  | tok -> error "expected '.' or ':-' after clause head, found %a" pp_token tok
+  | tok -> err c "expected '.' or ':-' after clause head, found %a" pp_token tok
 
 (** [clause text] parses one clause.
     @raise Lexer.Error on malformed input. *)
@@ -56,17 +61,24 @@ let clause text =
   expect c Eof;
   cl
 
-(** [definition ?target text] parses a sequence of clauses. All heads
-    must share one relation symbol (checked against [target] when
-    given). *)
-let definition ?target text =
+(** [definition_spanned text] parses a sequence of clauses, each with
+    the position of its first token. *)
+let definition_spanned text =
   let c = cursor (tokenize text) in
   let rec go acc =
     match peek c with
     | Eof -> List.rev acc
-    | _ -> go (parse_clause_at c :: acc)
+    | _ ->
+        let pos = peek_pos c in
+        go ((parse_clause_at c, pos) :: acc)
   in
-  let clauses = go [] in
+  go []
+
+(** [definition ?target text] parses a sequence of clauses. All heads
+    must share one relation symbol (checked against [target] when
+    given). *)
+let definition ?target text =
+  let clauses = List.map fst (definition_spanned text) in
   let name =
     match target, clauses with
     | Some t, _ -> t

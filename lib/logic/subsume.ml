@@ -68,10 +68,14 @@ type plit = {
   pargs : parg array;
   mutable cands : Atom.t array;  (** AC-filtered candidate literals *)
   vset : int list;  (** variable slots occurring in the literal *)
+  mutable idx : (int * (Term.t, Atom.t array) Hashtbl.t) list;
+      (** lazily built per-position indexes over [cands]; valid only
+          after arc-consistency, which is the last mutation of
+          [cands] *)
 }
 
 (* dummy literal used only for array initialization *)
-let dummy_plit = { prel = ""; pargs = [||]; cands = [||]; vset = [] }
+let dummy_plit = { prel = ""; pargs = [||]; cands = [||]; vset = []; idx = [] }
 
 let compile_pattern (lits : Atom.t list) (groups : groups) =
   let var_ids = Hashtbl.create 16 in
@@ -105,7 +109,7 @@ let compile_pattern (lits : Atom.t list) (groups : groups) =
           | Some arr -> arr
           | None -> raise Refuted
         in
-        { prel = a.Atom.rel; pargs; cands; vset })
+        { prel = a.Atom.rel; pargs; cands; vset; idx = [] })
       lits
   in
   (plits, var_ids, !n_vars)
@@ -143,15 +147,64 @@ let rewind (bindings : Term.t option array) trail mark =
     | [] -> assert false
   done
 
+(* ---------------------------------------------------------------- *)
+(* First-bound-argument candidate index                               *)
+(* ---------------------------------------------------------------- *)
+
+(* Index the candidates of [pl] by their term at position [i], built
+   on first use. Arc-consistency is the last mutation of [pl.cands],
+   so indexes built during the search never go stale. *)
+let index_at (pl : plit) i =
+  match List.assoc_opt i pl.idx with
+  | Some tbl -> tbl
+  | None ->
+      let buckets : (Term.t, Atom.t list) Hashtbl.t =
+        Hashtbl.create (Array.length pl.cands)
+      in
+      Array.iter
+        (fun (cand : Atom.t) ->
+          let k = cand.Atom.args.(i) in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt buckets k) in
+          Hashtbl.replace buckets k (cand :: cur))
+        pl.cands;
+      let tbl = Hashtbl.create (Hashtbl.length buckets) in
+      Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (Array.of_list v)) buckets;
+      pl.idx <- (i, tbl) :: pl.idx;
+      tbl
+
+(* Candidates of [pl] compatible with the current bindings, narrowed
+   through the index of the first variable position already bound (the
+   ROADMAP's "first bound argument" selection). Constant positions are
+   ignored: arc-consistency already filtered them. *)
+let candidates (bindings : Term.t option array) (pl : plit) =
+  let n = Array.length pl.pargs in
+  let rec first i =
+    if i >= n then None
+    else
+      match pl.pargs.(i) with
+      | Pvar v -> (
+          match bindings.(v) with
+          | Some t -> Some (i, t)
+          | None -> first (i + 1))
+      | Pconst _ -> first (i + 1)
+  in
+  match first 0 with
+  | None -> pl.cands
+  | Some (i, t) -> (
+      match Hashtbl.find_opt (index_at pl i) t with
+      | Some arr -> arr
+      | None -> [||])
+
 (* a literal still has at least one candidate under current bindings *)
 let alive bindings (pl : plit) =
-  let m = Array.length pl.cands in
+  let cands = candidates bindings pl in
+  let m = Array.length cands in
   let scratch = ref [] in
   let rec probe k =
     if k >= m then false
     else begin
       let mark = !scratch in
-      let ok = match_cand bindings scratch pl pl.cands.(k) in
+      let ok = match_cand bindings scratch pl cands.(k) in
       rewind bindings scratch mark;
       ok || probe (k + 1)
     end
@@ -278,13 +331,14 @@ let search ~max_steps bindings (ordered : plit array) =
       incr steps;
       if !steps > max_steps then raise Budget_exhausted;
       let pl = ordered.(i) in
-      let m = Array.length pl.cands in
+      let cands = candidates bindings pl in
+      let m = Array.length cands in
       let rec try_cand j =
         if j >= m then false
         else begin
           let mark = !trail in
           if
-            match_cand bindings trail pl pl.cands.(j)
+            match_cand bindings trail pl cands.(j)
             && Array.for_all (alive bindings) later_neighbors.(i)
             && go (i + 1)
           then true

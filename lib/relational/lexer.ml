@@ -1,5 +1,9 @@
 (** A small hand-rolled lexer shared by the text formats (schema
-    files, fact files, Datalog clauses). *)
+    files, fact files, Datalog clauses). Every token carries its
+    source position (1-based line and column), and the cursor-based
+    error helpers include the position of the offending token, so
+    parse errors — and the diagnostics built on top of them by
+    {!Castor_analysis} — can point at the exact place in the input. *)
 
 type token =
   | Ident of string  (** identifiers: letters, digits, '_', leading letter *)
@@ -17,9 +21,21 @@ type token =
   | Subset  (** <= *)
   | Eof
 
+(** 1-based source position. *)
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Fmt.pf ppf "line %d, column %d" p.line p.col
+
+(** A token together with the position of its first character. *)
+type spanned = { tok : token; pos : pos }
+
 exception Error of string
 
 let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(** [error_at pos fmt] raises {!Error} with the position prepended. *)
+let error_at pos fmt =
+  Fmt.kstr (fun s -> raise (Error (Fmt.str "%a: %s" pp_pos pos s))) fmt
 
 let pp_token ppf = function
   | Ident s -> Fmt.pf ppf "%s" s
@@ -44,90 +60,123 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
 (** [tokenize s] lexes [s]; ['%'] starts a to-end-of-line comment.
-    @raise Error on an unexpected character. *)
-let tokenize (s : string) : token list =
+    @raise Error (with line/column) on an unexpected character. *)
+let tokenize (s : string) : spanned list =
   let n = String.length s in
   let out = ref [] in
-  let push t = out := t :: !out in
   let i = ref 0 in
+  let line = ref 1 in
+  (* byte offset where the current line starts, to derive columns *)
+  let line_start = ref 0 in
+  let here () = { line = !line; col = !i - !line_start + 1 } in
+  let push pos t = out := { tok = t; pos } :: !out in
+  let newline () =
+    incr line;
+    line_start := !i + 1
+  in
   while !i < n do
     let c = s.[!i] in
-    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    if c = '\n' then begin
+      newline ();
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '%' then begin
       while !i < n && s.[!i] <> '\n' do
         incr i
       done
     end
     else if is_digit c then begin
+      let pos = here () in
       let j = ref !i in
       while !j < n && is_digit s.[!j] do
         incr j
       done;
-      push (Int (int_of_string (String.sub s !i (!j - !i))));
+      push pos (Int (int_of_string (String.sub s !i (!j - !i))));
       i := !j
     end
     else if is_ident_start c then begin
+      let pos = here () in
       let j = ref !i in
       while !j < n && is_ident_char s.[!j] do
         incr j
       done;
-      push (Ident (String.sub s !i (!j - !i)));
+      push pos (Ident (String.sub s !i (!j - !i)));
       i := !j
     end
     else begin
+      let pos = here () in
       (match c with
-      | '(' -> push Lparen
-      | ')' -> push Rparen
-      | '[' -> push Lbracket
-      | ']' -> push Rbracket
-      | ',' -> push Comma
-      | '.' -> push Dot
-      | '=' -> push Eq
+      | '(' -> push pos Lparen
+      | ')' -> push pos Rparen
+      | '[' -> push pos Lbracket
+      | ']' -> push pos Rbracket
+      | ',' -> push pos Comma
+      | '.' -> push pos Dot
+      | '=' -> push pos Eq
       | ':' ->
           if !i + 1 < n && s.[!i + 1] = '-' then begin
-            push Turnstile;
+            push pos Turnstile;
             incr i
           end
-          else push Colon
+          else push pos Colon
       | '-' ->
           if !i + 1 < n && s.[!i + 1] = '>' then begin
-            push Arrow;
+            push pos Arrow;
             incr i
           end
-          else error "stray '-' at offset %d" !i
+          else error_at pos "stray '-'"
       | '<' ->
           if !i + 1 < n && s.[!i + 1] = '=' then begin
-            push Subset;
+            push pos Subset;
             incr i
           end
-          else error "stray '<' at offset %d" !i
-      | c -> error "unexpected character %C at offset %d" c !i);
+          else error_at pos "stray '<'"
+      | c -> error_at pos "unexpected character %C" c);
       incr i
     end
   done;
-  List.rev (Eof :: !out)
+  let eof_pos = here () in
+  List.rev ({ tok = Eof; pos = eof_pos } :: !out)
 
-(** A mutable token cursor for recursive-descent parsers. *)
-type cursor = { mutable tokens : token list }
+(** A mutable token cursor for recursive-descent parsers. [last] is
+    the position of the most recently consumed token — the one an
+    error message should point at. *)
+type cursor = { mutable tokens : spanned list; mutable last : pos }
 
-let cursor tokens = { tokens }
+let cursor tokens = { tokens; last = { line = 1; col = 1 } }
 
-let peek c = match c.tokens with [] -> Eof | t :: _ -> t
+let peek c = match c.tokens with [] -> Eof | t :: _ -> t.tok
 
-let advance c = match c.tokens with [] -> () | _ :: rest -> c.tokens <- rest
+(** Position of the next (unconsumed) token. *)
+let peek_pos c = match c.tokens with [] -> c.last | t :: _ -> t.pos
+
+let advance c =
+  match c.tokens with
+  | [] -> ()
+  | t :: rest ->
+      c.last <- t.pos;
+      c.tokens <- rest
 
 let next c =
   let t = peek c in
   advance c;
   t
 
-(** [expect c t] consumes the next token, failing unless it is [t]. *)
+(** Position of the most recently consumed token. *)
+let last_pos c = c.last
+
+(** [err c fmt] raises {!Error} pointing at the last consumed token. *)
+let err c fmt = error_at c.last fmt
+
+(** [expect c t] consumes the next token, failing (with position)
+    unless it is [t]. *)
 let expect c t =
   let got = next c in
-  if got <> t then error "expected %a but found %a" pp_token t pp_token got
+  if got <> t then err c "expected %a but found %a" pp_token t pp_token got
 
 (** [ident c] consumes and returns an identifier. *)
 let ident c =
   match next c with
   | Ident s -> s
-  | t -> error "expected identifier but found %a" pp_token t
+  | t -> err c "expected identifier but found %a" pp_token t

@@ -89,7 +89,7 @@ let parse_relation_decl c =
     match next c with
     | Comma -> attrs acc
     | Rparen -> List.rev acc
-    | t -> error "expected ',' or ')' in relation declaration, found %a" pp_token t
+    | t -> err c "expected ',' or ')' in relation declaration, found %a" pp_token t
   in
   let attrs = attrs [] in
   expect c Dot;
@@ -117,7 +117,7 @@ let parse_ind_decl c =
     match next c with
     | Eq -> true
     | Subset -> false
-    | t -> error "expected '=' or '<=' in ind declaration, found %a" pp_token t
+    | t -> err c "expected '=' or '<=' in ind declaration, found %a" pp_token t
   in
   let sup_rel, sup_attrs = parse_side c in
   expect c Dot;
@@ -140,7 +140,7 @@ let parse_schema text =
     | Ident "ind" ->
         schema := Schema.add_ind !schema (parse_ind_decl c);
         go ()
-    | t -> error "expected 'relation', 'fd' or 'ind', found %a" pp_token t
+    | t -> err c "expected 'relation', 'fd' or 'ind', found %a" pp_token t
   in
   go ()
 
@@ -148,7 +148,7 @@ let parse_value_token c =
   match next c with
   | Int n -> Value.int n
   | Ident s -> Value.str s
-  | t -> error "expected a constant, found %a" pp_token t
+  | t -> err c "expected a constant, found %a" pp_token t
 
 let parse_fact c =
   let rel = ident c in
@@ -158,7 +158,7 @@ let parse_fact c =
     match next c with
     | Comma -> args (v :: acc)
     | Rparen -> List.rev (v :: acc)
-    | t -> error "expected ',' or ')' in fact, found %a" pp_token t
+    | t -> err c "expected ',' or ')' in fact, found %a" pp_token t
   in
   let vs = args [] in
   expect c Dot;

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Flag counter/latency regressions in a bench metrics dump.
+
+The bench harness (bench/main.ml) ends every experiment by writing
+BENCH_<id>.json with the Obs registry contents:
+
+    {"experiment": "<id>", "metrics": {"counters": {...}, "spans": [...]}}
+
+This script compares such a dump against the checked-in baseline
+(BENCH_baseline.json by default) and exits nonzero when:
+
+  - a counter that was nonzero in the baseline dropped to zero
+    (instrumentation or a whole code path silently lost);
+  - a work counter (search steps, subsumption calls, saturations, ...)
+    grew beyond the tolerance — the learner is doing materially more
+    work for the same seeded experiment;
+  - a span's total time grew beyond the (deliberately generous)
+    latency tolerance — absolute times vary across machines, so only
+    large multiples are flagged.
+
+Counters the experiment is expected to keep nonzero (e.g. the
+analysis pruner's analysis.pruned_literals) can be asserted with
+--require-nonzero.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+# Seeded experiments are deterministic, so counters only move when the
+# code changes; the slack absorbs intentional small drifts without
+# letting a blow-up through.
+COUNTER_GROWTH = 0.15  # +15 %
+COUNTER_SLACK = 16  # absolute wiggle for tiny counters
+LATENCY_GROWTH = 2.0  # spans may take up to 3x the baseline total
+LATENCY_SLACK_S = 0.5
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics", doc)
+    counters = metrics.get("counters", {})
+    spans = {s["name"]: s for s in metrics.get("spans", [])}
+    return doc.get("experiment", "?"), counters, spans
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="BENCH_<id>.json produced by this run")
+    ap.add_argument(
+        "--baseline", default="BENCH_baseline.json", help="checked-in reference dump"
+    )
+    ap.add_argument(
+        "--require-nonzero",
+        action="append",
+        default=[],
+        metavar="COUNTER",
+        help="fail unless COUNTER is present and nonzero in the current run",
+    )
+    args = ap.parse_args()
+
+    _, base_counters, base_spans = load(args.baseline)
+    exp, cur_counters, cur_spans = load(args.current)
+
+    problems = []
+
+    for name in args.require_nonzero:
+        if cur_counters.get(name, 0) <= 0:
+            problems.append(f"required counter {name} is zero or missing")
+
+    for name, base in sorted(base_counters.items()):
+        cur = cur_counters.get(name)
+        if cur is None:
+            problems.append(f"counter {name} disappeared (baseline {base})")
+            continue
+        if base > 0 and cur == 0:
+            problems.append(f"counter {name} dropped to zero (baseline {base})")
+        limit = base * (1 + COUNTER_GROWTH) + COUNTER_SLACK
+        if cur > limit:
+            problems.append(
+                f"counter {name} regressed: {base} -> {cur} "
+                f"(limit {limit:.0f}, +{COUNTER_GROWTH:.0%} + {COUNTER_SLACK})"
+            )
+
+    for name, base in sorted(base_spans.items()):
+        cur = cur_spans.get(name)
+        if cur is None:
+            problems.append(f"span {name} disappeared")
+            continue
+        base_t, cur_t = base.get("total_s") or 0.0, cur.get("total_s") or 0.0
+        limit = base_t * (1 + LATENCY_GROWTH) + LATENCY_SLACK_S
+        if cur_t > limit:
+            problems.append(
+                f"span {name} latency regressed: {base_t:.3f}s -> {cur_t:.3f}s "
+                f"(limit {limit:.3f}s)"
+            )
+
+    print(f"check_bench: experiment {exp}: ", end="")
+    if problems:
+        print(f"{len(problems)} problem(s)")
+        for p in problems:
+            print(f"  REGRESSION: {p}")
+        return 1
+    print(
+        f"ok ({len(base_counters)} counters, {len(base_spans)} spans "
+        "within tolerance)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

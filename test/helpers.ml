@@ -108,6 +108,12 @@ let ground_clause_gen =
       ground_term_gen
       (list_size (int_range 0 8) ground_atom_gen))
 
+(* substring search, for asserting on error-message contents *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let clause_print c = Clause.to_string c
 
 let clause_pair_print (c, d) = Clause.to_string c ^ "  ///  " ^ Clause.to_string d

@@ -6,6 +6,7 @@ let () =
       ("relational", Test_relational.suite);
       ("transform", Test_transform.suite);
       ("logic", Test_logic.suite);
+      ("analysis", Test_analysis.suite);
       ("obs", Test_obs.suite);
       ("text", Test_text.suite);
       ("discovery", Test_discovery.suite);

@@ -10,19 +10,35 @@ let lexer_suite =
     tc "tokenize basic punctuation and idents" (fun () ->
         let open Lexer in
         check Alcotest.bool "tokens" true
-          (tokenize "foo(X, 42) :- bar." =
+          (List.map (fun s -> s.tok) (tokenize "foo(X, 42) :- bar.") =
            [ Ident "foo"; Lparen; Ident "X"; Comma; Int 42; Rparen; Turnstile;
              Ident "bar"; Dot; Eof ]));
     tc "comments are skipped" (fun () ->
         let open Lexer in
         check Alcotest.bool "tokens" true
-          (tokenize "a % comment here\nb" = [ Ident "a"; Ident "b"; Eof ]));
+          (List.map (fun s -> s.tok) (tokenize "a % comment here\nb")
+          = [ Ident "a"; Ident "b"; Eof ]));
     tc "operators" (fun () ->
         let open Lexer in
         check Alcotest.bool "tokens" true
-          (tokenize "x -> y <= z = [w]"
+          (List.map (fun s -> s.tok) (tokenize "x -> y <= z = [w]")
           = [ Ident "x"; Arrow; Ident "y"; Subset; Ident "z"; Eq; Lbracket;
               Ident "w"; Rbracket; Eof ]));
+    tc "tokens carry 1-based line/column positions" (fun () ->
+        let open Lexer in
+        match tokenize "ab cd\n  ef" with
+        | [ a; c; e; eof ] ->
+            check Alcotest.(pair int int) "ab" (1, 1) (a.pos.line, a.pos.col);
+            check Alcotest.(pair int int) "cd" (1, 4) (c.pos.line, c.pos.col);
+            check Alcotest.(pair int int) "ef" (2, 3) (e.pos.line, e.pos.col);
+            check Alcotest.(pair int int) "eof" (2, 5) (eof.pos.line, eof.pos.col)
+        | _ -> Alcotest.fail "expected four tokens");
+    tc "lexical errors carry line/column" (fun () ->
+        match Lexer.tokenize "ok\n   ;" with
+        | exception Lexer.Error msg ->
+            check Alcotest.bool ("mentions position: " ^ msg) true
+              (Helpers.contains ~sub:"line 2, column 4" msg)
+        | _ -> Alcotest.fail "expected a lexer error");
     tc "bad character raises" (fun () ->
         check Alcotest.bool "raises" true
           (try
