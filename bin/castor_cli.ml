@@ -256,6 +256,22 @@ let stats dataset variant algo domains json =
     Fmt.pr "%s on %s/%s learned %d clause(s); observability report:@.@."
       a.Experiment.algo_name dataset vname
       (List.length def.Castor_logic.Clause.clauses);
+    (* derived hot-path health lines: coverage-cache effectiveness and
+       how often the subsumption engine needed restarts *)
+    let hits = Obs.Counter.value Castor_ilp.Stats.c_cache_hits in
+    let misses = Obs.Counter.value Castor_ilp.Coverage.c_cache_misses in
+    let lookups = hits + misses in
+    if lookups > 0 then
+      Fmt.pr "coverage cache: %d/%d hits (%.1f%%), %d key builds@." hits
+        lookups
+        (100. *. float_of_int hits /. float_of_int lookups)
+        (Obs.Counter.value Castor_ilp.Coverage.c_key_builds);
+    let restarts = Obs.Counter.value Castor_logic.Subsume.c_restarts in
+    if restarts > 0 then
+      Fmt.pr "subsumption restarts: %d (%d recovered definitive answers)@."
+        restarts
+        (Obs.Counter.value Castor_logic.Subsume.c_restart_recoveries);
+    Fmt.pr "@.";
     print_string (Obs.report ())
   end
 
@@ -338,7 +354,17 @@ let analyze dataset clauses_file clause_str rules json =
     let groups =
       match (clauses_file, clause_str) with
       | None, None ->
-          Analyze.dataset_checks ~base:ds.Dataset.schema
+          (* mirror the experiment defaults so the saturation-budget
+             estimate reflects what `learn` would actually run *)
+          let budget =
+            {
+              Castor_analysis.Modes.depth = 2;
+              max_terms = Some 60;
+              per_relation_cap = 10;
+              max_steps = 40_000;
+            }
+          in
+          Analyze.dataset_checks ~budget ~base:ds.Dataset.schema
             ~variants:ds.Dataset.variants ~target:ds.Dataset.target
             ~const_pool_domains:(List.map fst ds.Dataset.const_pool)
             ~no_expand_domains:ds.Dataset.no_expand_domains ()

@@ -74,6 +74,8 @@ let rules : rule list =
       doc = "a frontier filter names a domain no relation attribute uses" };
     { id = "mode/no-input-positions"; severity = Info;
       doc = "a relation has no key or IND-linked attribute to enter literals through" };
+    { id = "mode/saturation-budget"; severity = Warning;
+      doc = "estimated saturation literal/variable counts against max_terms predict subsumption budget exhaustion" };
   ]
 
 let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules
@@ -110,22 +112,30 @@ let clauses_text ?schema ?target ?depth_limit text =
         spanned
 
 (** [problem_config ...] — the pre-learning gate body: schema lints
-    plus mode lints of the learner configuration. *)
-let problem_config ?mode ~(target : Schema.relation) ~const_pool_domains
+    plus mode lints of the learner configuration. [budget], when
+    given, adds the saturation/search budget estimate
+    ([mode/saturation-budget]). *)
+let problem_config ?mode ?budget ~(target : Schema.relation) ~const_pool_domains
     ~no_expand_domains (s : Schema.t) =
   schema ?mode s
   @ Modes.lint_config ~const_domains:no_expand_domains ~target ~const_pool_domains
       ~no_expand_domains s
+  @
+  match budget with
+  | None -> []
+  | Some budget -> Modes.lint_budget ~budget ~target s
 
 (** [dataset_checks ~schema ~variants ~target ~const_pool_domains
     ~no_expand_domains ()] lints a dataset: base schema, every variant
     transformation (against the base schema) and resulting schema, and
     the problem configuration. Returns labelled groups for display. *)
-let dataset_checks ?mode ~(base : Schema.t) ~(variants : (string * Transform.t) list)
-    ~(target : Schema.relation) ~const_pool_domains ~no_expand_domains () =
+let dataset_checks ?mode ?budget ~(base : Schema.t)
+    ~(variants : (string * Transform.t) list) ~(target : Schema.relation)
+    ~const_pool_domains ~no_expand_domains () =
   let base_diags =
     ( "schema (base)",
-      problem_config ?mode ~target ~const_pool_domains ~no_expand_domains base )
+      problem_config ?mode ?budget ~target ~const_pool_domains
+        ~no_expand_domains base )
   in
   let variant_diags =
     List.filter_map

@@ -14,7 +14,8 @@
     make the learner silently unable to bind its head variables.
 
     Rule ids: [mode/target-domain-unknown], [mode/const-domain-unknown],
-    [mode/no-expand-domain-unknown], [mode/no-input-positions]. *)
+    [mode/no-expand-domain-unknown], [mode/no-input-positions],
+    [mode/saturation-budget]. *)
 
 open Castor_relational
 
@@ -164,3 +165,89 @@ let lint_config ?const_domains ~(target : Schema.relation) ~const_pool_domains
       modes
   in
   target_diags @ pool_diags @ frontier_diags @ no_input_diags
+
+(* ---------------- saturation budget estimate ----------------------- *)
+
+(** Saturation and search budget of a learning problem, passed as
+    plain values so the analysis layer stays independent of
+    {!Castor_ilp}. *)
+type budget = {
+  depth : int;  (** IND-chase saturation iterations *)
+  max_terms : int option;  (** variable budget; [None] = unbounded *)
+  per_relation_cap : int;
+      (** literals admitted per (constant, relation) pair *)
+  max_steps : int;  (** subsumption step budget of coverage tests *)
+}
+
+(* keep the growth model's arithmetic away from overflow *)
+let clamp v = min v 1_000_000_000
+
+(** [lint_budget ~budget ~target schema] estimates the literal and
+    distinct-constant counts of a saturation (the ROADMAP's
+    "literal-count/variable-budget estimates against [max_terms]") and
+    flags configurations whose bottom clauses are likely to exhaust
+    the subsumption step budget during coverage testing.
+
+    The model is deliberately crude — each frontier constant admits up
+    to [per_relation_cap] literals per relation, each literal
+    introduces (arity - 1) fresh constants, and the saturation stops
+    once the term budget binds — but it is monotone in every
+    parameter, so it separates default-sized problems from
+    exhaustion-prone ones. *)
+let lint_budget ~(budget : budget) ~(target : Schema.relation)
+    (schema : Schema.t) =
+  let sum_caps =
+    clamp
+      (List.fold_left
+         (fun acc (_ : Schema.relation) -> acc + budget.per_relation_cap)
+         0 schema.Schema.relations)
+  in
+  let branch =
+    clamp
+      (List.fold_left
+         (fun acc (r : Schema.relation) ->
+           acc
+           + (budget.per_relation_cap * max 0 (List.length r.Schema.attrs - 1)))
+         0 schema.Schema.relations)
+  in
+  let bound = Option.value ~default:max_int budget.max_terms in
+  let frontier = ref (List.length target.Schema.attrs) in
+  let terms = ref !frontier in
+  let lits = ref 0 in
+  (try
+     for _ = 1 to budget.depth do
+       if !terms >= bound then raise Exit;
+       lits := clamp (!lits + (!frontier * sum_caps));
+       frontier := clamp (!frontier * branch);
+       terms := clamp (!terms + !frontier)
+     done
+   with Exit -> ());
+  let subject = Fmt.str "target %s" target.Schema.rname in
+  match budget.max_terms with
+  | None ->
+      (* without a declared variable budget the literal estimate is
+         data-bounded, not schema-bounded; flag only growth that no
+         realistic instance keeps small *)
+      if !terms > 4096 then
+        [
+          Diagnostic.make ~rule:"mode/saturation-budget"
+            ~severity:Diagnostic.Warning ~subject
+            "no variable budget (max_terms) and the chase can reach ~%d \
+             distinct constants by depth %d: saturations are effectively \
+             unbounded; set max_terms to keep coverage tests tractable"
+            !terms budget.depth;
+        ]
+      else []
+  | Some declared ->
+      let est_terms = min !terms declared in
+      if clamp (!lits * est_terms) > budget.max_steps then
+        [
+          Diagnostic.make ~rule:"mode/saturation-budget"
+            ~severity:Diagnostic.Warning ~subject
+            "estimated bottom clauses (~%d literals over ~%d terms) can \
+             exhaust the %d-step subsumption budget; randomized restarts \
+             will retry with escalated budgets, but consider lowering \
+             max_terms or per_relation_cap"
+            !lits est_terms budget.max_steps;
+        ]
+      else []

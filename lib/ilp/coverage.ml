@@ -7,11 +7,13 @@
     saturations.
 
     Two optimizations from the paper are implemented here: a
-    memoization table keyed by the printed clause (reusing earlier
-    coverage tests), and the generality shortcut — when testing a
-    clause known to be more general than a previously tested one, the
-    examples already covered need not be re-tested. Coverage tests
-    can also be fanned out over domains ({!Parallel}). *)
+    memoization table keyed by {!Clause.canonical_key} — a structural,
+    variable-normalized key, so α-equivalent clauses produced by
+    different ARMG paths share one entry — and the generality
+    shortcut: when testing a clause known to be more general than a
+    previously tested one, the examples already covered need not be
+    re-tested. Coverage tests can also be fanned out over domains
+    ({!Parallel}). *)
 
 open Castor_logic
 module Obs = Castor_obs.Obs
@@ -56,6 +58,18 @@ let span_covers = Obs.Span.create "ilp.coverage.covers"
     diagnosis in the benches. *)
 let slow_vectors = Obs.Reservoir.create ~capacity:40 "ilp.coverage.slow_vectors"
 
+(* The structural-key cache, made visible: [key_builds] is how often
+   the canonical key is computed (its cost used to hide inside
+   [Clause.to_string]); hits land in {!Stats.c_cache_hits}, misses
+   here, so hit rate is derivable from any metrics dump. *)
+let c_key_builds = Obs.Counter.create "ilp.coverage.key_builds"
+
+let c_cache_misses = Obs.Counter.create "ilp.coverage.cache_misses"
+
+let cache_key clause =
+  Obs.Counter.incr c_key_builds;
+  Clause.canonical_key clause
+
 (** [sub t idxs] is the coverage structure restricted to the examples
     at [idxs] — saturations are shared, so cross-validation folds cost
     nothing extra. *)
@@ -78,11 +92,21 @@ let set_cache t b = t.cache_enabled <- b
 
 let clear_cache t = Hashtbl.reset t.cache
 
-(** [covers t clause i] tests coverage of the [i]-th example alone. *)
+(** [covers t clause i] tests coverage of the [i]-th example alone. A
+    full vector cached for the same (α-equivalent) clause answers
+    without a subsumption test. *)
 let covers t clause i =
   Obs.Span.with_span span_covers @@ fun () ->
-  Obs.Counter.incr Stats.c_subsumption_tests;
-  Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i)
+  match
+    if t.cache_enabled then Hashtbl.find_opt t.cache (cache_key clause)
+    else None
+  with
+  | Some v ->
+      Obs.Counter.incr Stats.c_cache_hits;
+      v.(i)
+  | None ->
+      Obs.Counter.incr Stats.c_subsumption_tests;
+      Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i)
 
 (** [vector ?assume ?within t clause] returns the boolean coverage
     vector of [clause] over all examples.
@@ -98,7 +122,7 @@ let vector ?assume ?within t clause =
   (* masked queries bypass the cache: their vectors are only valid for
      that particular mask *)
   let cacheable = t.cache_enabled && assume = None && within = None in
-  let key = Clause.to_string clause in
+  let key = cache_key clause in
   let t0 = Unix.gettimeofday () in
   Fun.protect ~finally:(fun () ->
       let dt = Unix.gettimeofday () -. t0 in
@@ -114,6 +138,7 @@ let vector ?assume ?within t clause =
       | Some mask -> Array.mapi (fun i b -> b && mask.(i)) v
       | None -> Array.copy v)
   | None ->
+      if t.cache_enabled then Obs.Counter.incr c_cache_misses;
       let test i =
         match within with
         | Some mask when not mask.(i) -> false

@@ -58,13 +58,22 @@ let head_domains p = List.map (fun a -> a.Schema.domain) p.target.Schema.attrs
    paying for the example saturations. [`Warn] reports diagnostics on
    stderr, [`Strict] additionally raises {!Rejected} on errors,
    [`Off] skips the analysis entirely. *)
-let run_gate gate ~(bottom_params : Bottom.params) ~const_pool instance target =
+let run_gate gate ~(bottom_params : Bottom.params) ~const_pool ~max_steps
+    instance target =
   match gate with
   | `Off -> ()
   | (`Warn | `Strict) as g ->
       Obs.Counter.incr c_gate_runs;
+      let budget =
+        {
+          Castor_analysis.Modes.depth = bottom_params.Bottom.depth;
+          max_terms = bottom_params.Bottom.max_terms;
+          per_relation_cap = bottom_params.Bottom.per_relation_cap;
+          max_steps;
+        }
+      in
       let diags =
-        Castor_analysis.Analyze.problem_config ~target
+        Castor_analysis.Analyze.problem_config ~budget ~target
           ~const_pool_domains:
             (List.map fst const_pool @ bottom_params.Bottom.const_domains)
           ~no_expand_domains:bottom_params.Bottom.no_expand_domains
@@ -95,7 +104,7 @@ let run_gate gate ~(bottom_params : Bottom.params) ~const_pool instance target =
 let make ?(bottom_params = Bottom.default_params) ?(const_pool = []) ?(seed = 42)
     ?expand ?(max_steps = 40_000) ?(gate = `Warn) instance target
     (train : Examples.t) =
-  run_gate gate ~bottom_params ~const_pool instance target;
+  run_gate gate ~bottom_params ~const_pool ~max_steps instance target;
   {
     instance;
     target;

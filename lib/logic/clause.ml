@@ -138,6 +138,132 @@ let dedup_body c =
   in
   { c with body }
 
+(** [canonical_key c] is a structural cache key: clauses equal up to
+    variable renaming and body-literal reordering (α-equivalent as
+    ordered-clause sets, hence with identical coverage) map to the
+    same key, and equal keys imply such equivalence — the key is a
+    faithful rendering of the clause under a canonical variable
+    naming, so a coverage cache keyed by it is sound.
+
+    Construction: variables are colored by a few rounds of
+    Weisfeiler-Leman-style refinement over their occurrence structure
+    (relation, head/body, argument position, colors of co-occurring
+    variables), body literals are sorted by their colored signature,
+    canonical names [_0, _1, ...] are assigned in first-occurrence
+    order over the sorted clause, and the rendered body literals are
+    sorted once more so automorphic literal groups render identically
+    regardless of input order. Built with a buffer — cheaper than the
+    boxed pretty-printer behind {!to_string}. *)
+let canonical_key (c : t) =
+  let module Value = Castor_relational.Value in
+  let atoms = Array.of_list (c.head :: c.body) in
+  let n_atoms = Array.length atoms in
+  (* dense variable ids, in order of first occurrence *)
+  let var_ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let id_of v =
+    match Hashtbl.find_opt var_ids v with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length var_ids in
+        Hashtbl.add var_ids v i;
+        i
+  in
+  let args =
+    Array.map
+      (fun (a : Atom.t) ->
+        Array.map
+          (function
+            | Term.Var v -> Either.Left (id_of v)
+            | Term.Const k -> Either.Right (Value.to_string k))
+          a.Atom.args)
+      atoms
+  in
+  let n_vars = Hashtbl.length var_ids in
+  let colors = Array.make n_vars 0 in
+  (* occurrences.(v) = (atom index, position) list *)
+  let occurrences = Array.make n_vars [] in
+  Array.iteri
+    (fun ai row ->
+      Array.iteri
+        (fun pos -> function
+          | Either.Left v -> occurrences.(v) <- (ai, pos) :: occurrences.(v)
+          | Either.Right _ -> ())
+        row)
+    args;
+  let atom_sig ai =
+    Hashtbl.hash
+      ( atoms.(ai).Atom.rel,
+        ai = 0,
+        Array.map
+          (function
+            | Either.Left v -> Either.Left colors.(v)
+            | Either.Right _ as k -> k)
+          args.(ai) )
+  in
+  (* refinement rounds; three suffice for the clause sizes the
+     learners build, and more rounds only cost completeness, never
+     soundness *)
+  for _round = 1 to 3 do
+    let next =
+      Array.mapi
+        (fun v _ ->
+          Hashtbl.hash
+            (List.sort compare
+               (List.map (fun (ai, pos) -> (atom_sig ai, pos)) occurrences.(v))))
+        colors
+    in
+    Array.blit next 0 colors 0 n_vars
+  done;
+  (* sort body atom indices by colored signature *)
+  let sig_key ai =
+    ( atoms.(ai).Atom.rel,
+      Array.to_list
+        (Array.map
+           (function
+             | Either.Left v -> "v:" ^ string_of_int colors.(v)
+             | Either.Right k -> "c:" ^ k)
+           args.(ai)) )
+  in
+  let body_order = Array.init (n_atoms - 1) (fun i -> i + 1) in
+  Array.sort (fun a b -> compare (sig_key a) (sig_key b)) body_order;
+  (* canonical names in first-occurrence order: head first, then the
+     sorted body *)
+  let names = Array.make n_vars (-1) in
+  let next_name = ref 0 in
+  let name_row ai =
+    Array.iter
+      (function
+        | Either.Left v ->
+            if names.(v) < 0 then begin
+              names.(v) <- !next_name;
+              incr next_name
+            end
+        | Either.Right _ -> ())
+      args.(ai)
+  in
+  name_row 0;
+  Array.iter name_row body_order;
+  let render ai =
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf atoms.(ai).Atom.rel;
+    Buffer.add_char buf '(';
+    Array.iteri
+      (fun pos arg ->
+        if pos > 0 then Buffer.add_char buf ',';
+        match arg with
+        | Either.Left v ->
+            Buffer.add_char buf '_';
+            Buffer.add_string buf (string_of_int names.(v))
+        | Either.Right k -> Buffer.add_string buf k)
+      args.(ai);
+    Buffer.add_char buf ')';
+    Buffer.contents buf
+  in
+  let rendered_body =
+    List.sort String.compare (List.map render (Array.to_list body_order))
+  in
+  String.concat "|" (render 0 :: rendered_body)
+
 let pp ppf c =
   if c.body = [] then Fmt.pf ppf "%a." Atom.pp c.head
   else

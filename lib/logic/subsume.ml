@@ -22,8 +22,15 @@
       static most-bound-first literal order with forward checking of
       variable-sharing neighbors.
 
-    A step budget bounds pathological instances; exceeding it
-    conservatively reports non-subsumption. *)
+    A step budget bounds pathological instances. Exhausting it no
+    longer gives up immediately: the search is restarted with a
+    seeded-shuffle literal order and a geometrically escalated budget
+    for a bounded number of attempts (randomized restarts, the classic
+    cure for unlucky static orderings in FOIL-style search), and only
+    after every attempt exhausts does the engine conservatively report
+    non-subsumption. Restarts are deterministic per
+    (clause, attempt): the shuffle seed is a hash of the pattern body
+    mixed with the attempt number, so results are reproducible. *)
 
 module Obs = Castor_obs.Obs
 
@@ -38,6 +45,15 @@ let c_steps = Obs.Counter.create "logic.subsume.steps"
 let c_budget_exhausted = Obs.Counter.create "logic.subsume.budget_exhausted"
 
 let c_ac_refuted = Obs.Counter.create "logic.subsume.ac_refuted"
+
+(* Restart observability: [restarts] counts re-runs after an exhausted
+   attempt; [restart_recoveries] counts searches that exhausted at
+   least once and then completed definitively (either answer) on a
+   restart — the tests that the old engine answered wrongly-
+   conservatively. *)
+let c_restarts = Obs.Counter.create "logic.subsume.restarts"
+
+let c_restart_recoveries = Obs.Counter.create "logic.subsume.restart_recoveries"
 
 type groups = (string, Atom.t array) Hashtbl.t
 
@@ -354,12 +370,75 @@ let search ~max_steps bindings (ordered : plit array) =
   if go 0 then Some bindings else None
 
 (* ---------------------------------------------------------------- *)
+(* Randomized restarts                                                *)
+(* ---------------------------------------------------------------- *)
+
+(* splitmix-style integer mixer: cheap, stateless, and good enough to
+   decorrelate shuffle orders across attempts *)
+let mix s =
+  let s = (s * 0x9E3779B9) + 0x7F4A7C15 in
+  let s = (s lxor (s lsr 15)) * 0x85EBCA6B in
+  (s lxor (s lsr 13)) land max_int
+
+(* deterministic Fisher-Yates over a fresh copy, seeded per attempt *)
+let seeded_shuffle seed (arr : plit array) =
+  let a = Array.copy arr in
+  let state = ref (mix seed) in
+  for i = Array.length a - 1 downto 1 do
+    state := mix !state;
+    let j = !state mod (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let default_restarts = 3
+
+(* Run [search], restarting with a shuffled literal order and a
+   doubled budget on exhaustion, up to [max_restarts] extra attempts.
+   [base] is the post-AC seeded binding array: [search] leaves
+   bindings dirty when the budget exception escapes, so every attempt
+   works on a fresh copy. The first attempt keeps the most-bound-first
+   heuristic order; restarts shuffle the input literal list before
+   re-applying the heuristic, which randomizes its tie-breaking
+   without abandoning it. *)
+let search_with_restarts ~max_steps ~max_restarts ~seed (base : Term.t option array)
+    (plits : plit list) =
+  let plit_arr = Array.of_list plits in
+  let rec attempt k budget =
+    let input =
+      if k = 0 then plit_arr else seeded_shuffle (mix (seed + k)) plit_arr
+    in
+    let ordered = order_literals base (Array.to_list input) in
+    let bindings = Array.copy base in
+    match search ~max_steps:budget bindings ordered with
+    | result ->
+        if k > 0 then Obs.Counter.incr c_restart_recoveries;
+        result
+    | exception Budget_exhausted ->
+        Obs.Counter.incr c_budget_exhausted;
+        if k >= max_restarts then None
+        else begin
+          Obs.Counter.incr c_restarts;
+          (* geometric escalation; [max 1] so a zero budget still
+             escalates instead of looping at zero *)
+          attempt (k + 1) (max 1 (budget * 2))
+        end
+  in
+  attempt 0 max_steps
+
+(* ---------------------------------------------------------------- *)
 (* Public interface                                                   *)
 (* ---------------------------------------------------------------- *)
 
-(** [subsuming_subst ?max_steps c d] returns a witness θ with
-    [Cθ ⊆ D], or [None]. Heads must match. *)
-let subsuming_subst ?(max_steps = 60_000) (c : Clause.t) (d : Clause.t) =
+(** [subsuming_subst ?max_steps ?max_restarts c d] returns a witness θ
+    with [Cθ ⊆ D], or [None]. Heads must match. [max_restarts]
+    (default {!default_restarts}) bounds the randomized re-runs after
+    budget exhaustion; [~max_restarts:0] restores the old
+    conservative give-up-on-first-exhaustion behavior. *)
+let subsuming_subst ?(max_steps = 60_000) ?(max_restarts = default_restarts)
+    (c : Clause.t) (d : Clause.t) =
   Obs.Counter.incr c_calls;
   match Subst.match_atom Subst.empty c.Clause.head d.Clause.head with
   | None -> None
@@ -394,12 +473,19 @@ let subsuming_subst ?(max_steps = 60_000) (c : Clause.t) (d : Clause.t) =
                   Obs.Counter.incr c_ac_refuted;
                   None
               | () -> (
-                  let ordered = order_literals bindings plits in
+                  (* the shuffle seed depends only on the pattern, so
+                     a given (clause, attempt) always explores the
+                     same order *)
+                  let seed =
+                    Hashtbl.hash
+                      (List.map
+                         (fun (a : Atom.t) ->
+                           (a.Atom.rel, Array.map Term.to_string a.Atom.args))
+                         c.Clause.body)
+                  in
                   match
-                    try search ~max_steps bindings ordered
-                    with Budget_exhausted ->
-                      Obs.Counter.incr c_budget_exhausted;
-                      None
+                    search_with_restarts ~max_steps ~max_restarts ~seed
+                      bindings plits
                   with
                   | None -> None
                   | Some bindings ->
@@ -414,7 +500,8 @@ let subsuming_subst ?(max_steps = 60_000) (c : Clause.t) (d : Clause.t) =
                       Some !s)))
 
 (** [subsumes c d] decides [C θ-subsumes D]. *)
-let subsumes ?max_steps c d = Option.is_some (subsuming_subst ?max_steps c d)
+let subsumes ?max_steps ?max_restarts c d =
+  Option.is_some (subsuming_subst ?max_steps ?max_restarts c d)
 
 (** Reference implementation without pruning or ordering, used to
     cross-check the optimized engine in tests. *)
@@ -442,17 +529,23 @@ let subsumes_naive ?(max_steps = 2_000_000) (c : Clause.t) (d : Clause.t) =
       (try go s0 c.Clause.body with Budget_exhausted -> false)
 
 (** θ-equivalence of clauses: mutual subsumption. *)
-let equivalent ?max_steps c1 c2 =
-  subsumes ?max_steps c1 c2 && subsumes ?max_steps c2 c1
+let equivalent ?max_steps ?max_restarts c1 c2 =
+  subsumes ?max_steps ?max_restarts c1 c2
+  && subsumes ?max_steps ?max_restarts c2 c1
 
 (** [definition_subsumes d1 d2] holds when every clause of [d2] is
     subsumed by some clause of [d1] — i.e. [d1] is at least as general,
     clause-wise. *)
-let definition_subsumes ?max_steps (d1 : Clause.definition) (d2 : Clause.definition) =
+let definition_subsumes ?max_steps ?max_restarts (d1 : Clause.definition)
+    (d2 : Clause.definition) =
   List.for_all
-    (fun c2 -> List.exists (fun c1 -> subsumes ?max_steps c1 c2) d1.Clause.clauses)
+    (fun c2 ->
+      List.exists
+        (fun c1 -> subsumes ?max_steps ?max_restarts c1 c2)
+        d1.Clause.clauses)
     d2.Clause.clauses
 
 (** Clause-wise θ-equivalence of definitions. *)
-let definition_equivalent ?max_steps d1 d2 =
-  definition_subsumes ?max_steps d1 d2 && definition_subsumes ?max_steps d2 d1
+let definition_equivalent ?max_steps ?max_restarts d1 d2 =
+  definition_subsumes ?max_steps ?max_restarts d1 d2
+  && definition_subsumes ?max_steps ?max_restarts d2 d1

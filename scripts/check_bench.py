@@ -20,7 +20,15 @@ This script compares such a dump against the checked-in baseline
 
 Counters the experiment is expected to keep nonzero (e.g. the
 analysis pruner's analysis.pruned_literals) can be asserted with
---require-nonzero.
+--require-nonzero; counters that must merely be recorded — e.g. the
+subsumption engine's logic.subsume.restarts, legitimately zero when no
+test exhausts its budget — with --require-present.
+
+When both dumps carry the coverage-cache counters (ilp.cache_hits and
+ilp.coverage.cache_misses), the cache hit rate is also compared: a
+drop of more than HIT_RATE_DROP percentage points against the baseline
+fails, so a cache-key change that silently stops matching α-equivalent
+clauses is caught even while the raw counters stay within tolerance.
 
 Only the Python standard library is used.
 """
@@ -36,6 +44,21 @@ COUNTER_GROWTH = 0.15  # +15 %
 COUNTER_SLACK = 16  # absolute wiggle for tiny counters
 LATENCY_GROWTH = 2.0  # spans may take up to 3x the baseline total
 LATENCY_SLACK_S = 0.5
+HIT_RATE_DROP = 5.0  # cache hit rate may drop at most 5 percentage points
+
+HITS = "ilp.cache_hits"
+MISSES = "ilp.coverage.cache_misses"
+
+
+def hit_rate(counters):
+    """Cache hit rate in percent, or None when the dump predates the
+    hit/miss counters or the cache saw no lookups."""
+    if HITS not in counters or MISSES not in counters:
+        return None
+    lookups = counters[HITS] + counters[MISSES]
+    if lookups <= 0:
+        return None
+    return 100.0 * counters[HITS] / lookups
 
 
 def load(path):
@@ -60,6 +83,13 @@ def main():
         metavar="COUNTER",
         help="fail unless COUNTER is present and nonzero in the current run",
     )
+    ap.add_argument(
+        "--require-present",
+        action="append",
+        default=[],
+        metavar="COUNTER",
+        help="fail unless COUNTER is recorded in the current run (zero is fine)",
+    )
     args = ap.parse_args()
 
     _, base_counters, base_spans = load(args.baseline)
@@ -70,6 +100,18 @@ def main():
     for name in args.require_nonzero:
         if cur_counters.get(name, 0) <= 0:
             problems.append(f"required counter {name} is zero or missing")
+
+    for name in args.require_present:
+        if name not in cur_counters:
+            problems.append(f"required counter {name} is not recorded")
+
+    base_rate, cur_rate = hit_rate(base_counters), hit_rate(cur_counters)
+    if base_rate is not None and cur_rate is not None:
+        if cur_rate < base_rate - HIT_RATE_DROP:
+            problems.append(
+                f"cache hit rate regressed: {base_rate:.1f}% -> {cur_rate:.1f}% "
+                f"(allowed drop {HIT_RATE_DROP:.0f} points)"
+            )
 
     for name, base in sorted(base_counters.items()):
         cur = cur_counters.get(name)

@@ -312,6 +312,36 @@ let test_mode_inputs () =
   check_clean "fd-derived key gives input positions" "mode/no-input-positions"
     (lint_modes ~target:(Schema.relation "t" [ at ~domain:"da" "v" ]) abc_schema)
 
+let test_mode_budget () =
+  let target = Schema.relation "t" [ at ~domain:"d" "u"; at ~domain:"d" "v" ] in
+  (* five arity-8 relations: each chased constant admits literals that
+     introduce seven fresh constants apiece *)
+  let wide =
+    Schema.make
+      (List.init 5 (fun i ->
+           Schema.relation
+             (Printf.sprintf "r%d" i)
+             (List.init 8 (fun j -> at ~domain:"d" (Printf.sprintf "a%d" j)))))
+  in
+  let budget max_terms =
+    { Modes.depth = 2; max_terms; per_relation_cap = 10; max_steps = 10_000 }
+  in
+  check_fires "wide schema with a large variable budget"
+    "mode/saturation-budget"
+    (Modes.lint_budget ~budget:(budget (Some 500)) ~target wide);
+  check_fires "unbounded saturation (no max_terms)" "mode/saturation-budget"
+    (Modes.lint_budget ~budget:(budget None) ~target wide);
+  check_clean "default-sized configuration" "mode/saturation-budget"
+    (Modes.lint_budget
+       ~budget:
+         {
+           Modes.depth = 2;
+           max_terms = Some 60;
+           per_relation_cap = 10;
+           max_steps = 40_000;
+         }
+       ~target abc_schema)
+
 let test_mode_inference () =
   (* abc_schema: fd a -> b,c makes "a" the key, so +a -b -c *)
   match Modes.infer abc_schema with
@@ -439,6 +469,7 @@ let suite =
     tc "mode/target-domain-unknown fires and stays quiet" test_mode_target;
     tc "mode pool lints fire and stay quiet" test_mode_pools;
     tc "mode/no-input-positions fires and stays quiet" test_mode_inputs;
+    tc "mode/saturation-budget fires and stays quiet" test_mode_budget;
     tc "modes are inferred from the schema's fds" test_mode_inference;
     tc "the rule catalog is consistent and 8+ rules fire" test_catalog;
     tc "the pre-learning gate rejects, warns and can be disabled"

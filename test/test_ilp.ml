@@ -234,6 +234,42 @@ let coverage_suite =
               "assume subset gives the exact vector" full
               (Coverage.vector ~assume:known cov grandfather))
           [ true; false ]);
+    tc "covers answers from a cached full vector" (fun () ->
+        (* regression: covers used to bypass the memo cache and re-run
+           a subsumption test per call *)
+        Stats.reset ();
+        let cov = coverage_fixture () in
+        let full = Coverage.vector cov grandparent_clause in
+        let s0 = Stats.snapshot () in
+        for i = 0 to Coverage.length cov - 1 do
+          check Alcotest.bool
+            (Printf.sprintf "covers %d agrees with the vector" i)
+            full.(i)
+            (Coverage.covers cov grandparent_clause i)
+        done;
+        let d = Stats.diff (Stats.snapshot ()) s0 in
+        check Alcotest.int "no new subsumption tests" 0 d.Stats.subsumption_tests;
+        check Alcotest.int "every answer was a cache hit" (Coverage.length cov)
+          d.Stats.cache_hits);
+    tc "α-equivalent clauses share one cache entry" (fun () ->
+        Stats.reset ();
+        let cov = coverage_fixture () in
+        let full = Coverage.vector cov grandparent_clause in
+        (* same clause up to variable renaming and body order *)
+        let renamed =
+          Clause.make
+            (Atom.make "grandparent" [ v "gp"; v "gc" ])
+            [
+              Atom.make "parent" [ v "mid"; v "gc" ];
+              Atom.make "parent" [ v "gp"; v "mid" ];
+            ]
+        in
+        let s0 = Stats.snapshot () in
+        check Alcotest.(array bool) "same vector" full
+          (Coverage.vector cov renamed);
+        let d = Stats.diff (Stats.snapshot ()) s0 in
+        check Alcotest.int "answered by the cache" 1 d.Stats.cache_hits;
+        check Alcotest.int "no new subsumption tests" 0 d.Stats.subsumption_tests);
     tc "subsumption-test counter is exact with 4 forced domains" (fun () ->
         let cov = coverage_fixture () in
         Coverage.set_cache cov false;
@@ -290,6 +326,29 @@ let parallel_suite =
                    if i = 50 then failwith "boom" else i)));
         (* the workers survived the failed batch and still compute *)
         check Alcotest.(array int) "pool still works" (Array.init 100 Fun.id)
+          (Parallel.init ~force:true ~domains:4 100 Fun.id));
+    tc "force overrides the small-array fallback" (fun () ->
+        (* regression: ~force:true used to fall back to sequential for
+           n < 8, so forced-parallel tests over small arrays never
+           exercised worker domains; worker-task submissions are
+           observable as ilp.parallel.tasks *)
+        let tasks = Parallel.c_tasks in
+        let before = Castor_obs.Obs.Counter.value tasks in
+        let f i = (i * 5) + 1 in
+        check Alcotest.(array int) "small forced init is correct"
+          (Array.init 3 f)
+          (Parallel.init ~force:true ~domains:4 3 f);
+        check Alcotest.bool "worker tasks were submitted" true
+          (Castor_obs.Obs.Counter.value tasks > before));
+    tc "fatal exceptions propagate and the pool recovers" (fun () ->
+        Alcotest.check_raises "Out_of_memory re-raised" Out_of_memory
+          (fun () ->
+            ignore
+              (Parallel.init ~force:true ~domains:4 100 (fun i ->
+                   if i = 50 then raise Out_of_memory else i)));
+        (* the domain that hit the fatal exception died; the pool
+           respawns workers on the next call *)
+        check Alcotest.(array int) "pool recovers" (Array.init 100 Fun.id)
           (Parallel.init ~force:true ~domains:4 100 Fun.id));
   ]
 

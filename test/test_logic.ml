@@ -410,13 +410,148 @@ let differential_suite =
         let d = cl (atom "t" [ k "a" ]) [ atom "r2" [ k "a"; k "b" ] ] in
         let before = Castor_obs.Obs.Counter.value Subsume.c_budget_exhausted in
         (* head matches and arc-consistency passes, so the zero-step
-           budget is exhausted on the first search step *)
+           budget is exhausted on the first search step; restarts are
+           disabled to pin the conservative give-up path *)
         check Alcotest.bool "gives up conservatively" false
-          (Subsume.subsumes ~max_steps:0 c d);
+          (Subsume.subsumes ~max_steps:0 ~max_restarts:0 c d);
         let after = Castor_obs.Obs.Counter.value Subsume.c_budget_exhausted in
         check Alcotest.int "counted exactly once" 1 (after - before);
         check Alcotest.bool "still subsumes with budget" true
           (Subsume.subsumes c d));
+    tc "a restart recovers the answer a zero budget gives up on" (fun () ->
+        let c = cl (atom "t" [ v "x" ]) [ atom "r2" [ v "x"; v "y" ] ] in
+        let d = cl (atom "t" [ k "a" ]) [ atom "r2" [ k "a"; k "b" ] ] in
+        let restarts = Subsume.c_restarts in
+        let recoveries = Subsume.c_restart_recoveries in
+        let r0 = Castor_obs.Obs.Counter.value restarts in
+        let v0 = Castor_obs.Obs.Counter.value recoveries in
+        (* the zero-step first attempt exhausts; escalation lifts the
+           budget to 1, 2, ... until the (trivial) search completes *)
+        check Alcotest.bool "recovered" true
+          (Subsume.subsumes ~max_steps:0 c d);
+        check Alcotest.bool "restarted at least once" true
+          (Castor_obs.Obs.Counter.value restarts > r0);
+        check Alcotest.int "recovered exactly once" 1
+          (Castor_obs.Obs.Counter.value recoveries - v0));
+    tc "restart battery: exhaustion-forcing cycles agree with naive engine"
+      (fun () ->
+        (* cyclic patterns over dense/symmetric edge sets are not
+           tree-structured, so arc-consistency cannot decide them and
+           the backtracking search really runs; a 2-step budget makes
+           the first attempt exhaust on every searched pair, so every
+           definitive answer below is produced by a restart *)
+        let recoveries = Subsume.c_restart_recoveries in
+        let v0 = Castor_obs.Obs.Counter.value recoveries in
+        let node i m = k (Printf.sprintf "n%d" (i mod m)) in
+        for seed = 0 to 39 do
+          let st = Random.State.make [| 0xbeef + seed |] in
+          let m = 5 + (seed mod 3) in
+          let cyclic = seed mod 2 = 0 in
+          let forward =
+            (* acyclic targets have no closed walks: unsatisfiable for
+               any cycle pattern, and only discoverable by search *)
+            List.init (m - 1) (fun i -> atom "p" [ node i m; node (i + 1) m ])
+          in
+          let edges =
+            if cyclic then
+              List.init m (fun i -> atom "p" [ node i m; node (i + 1) m ])
+              @ List.init m (fun i -> atom "p" [ node (i + 1) m; node i m ])
+            else forward
+          in
+          let chords =
+            List.init
+              (2 + (seed mod 3))
+              (fun _ ->
+                let i = Random.State.int st m in
+                let j = Random.State.int st m in
+                if cyclic then atom "p" [ node i m; node j m ]
+                else
+                  (* keep acyclic targets acyclic: chords go forward *)
+                  let lo = min i j and hi = max i j in
+                  if lo = hi then atom "p" [ node lo m; node (lo + 1) m ]
+                  else atom "p" [ node lo m; node hi m ])
+          in
+          let l = 4 + (seed mod 4) in
+          let y i = v (Printf.sprintf "y%d" (i mod l)) in
+          let c =
+            cl (atom "t" [ v "h" ]) (List.init l (fun i -> atom "p" [ y i; y (i + 1) ]))
+          in
+          let d = cl (atom "t" [ node 0 m ]) (edges @ chords) in
+          let opt = Subsume.subsumes ~max_steps:2 ~max_restarts:24 c d in
+          let naive = Subsume.subsumes_naive ~max_steps:50_000_000 c d in
+          if opt <> naive then
+            Alcotest.failf "restart engine disagrees (optimized=%b, seed=%d): %s"
+              opt seed
+              (clause_pair_print (c, d))
+        done;
+        check Alcotest.bool "at least one restart recovery" true
+          (Castor_obs.Obs.Counter.value recoveries > v0));
+  ]
+
+(* ---------------- structural cache key ---------------------------- *)
+
+let canonical_suite =
+  (* apply a random variable bijection and a random body permutation *)
+  let rename_and_permute st (c : Clause.t) =
+    let vars = Clause.variables c in
+    let n = List.length vars in
+    let perm = Array.init n (fun i -> i) in
+    for i = n - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- t
+    done;
+    let table = Hashtbl.create 8 in
+    List.iteri
+      (fun i var -> Hashtbl.add table var (Printf.sprintf "w%d" perm.(i)))
+      vars;
+    let ren = function
+      | Term.Var var -> Term.Var (Hashtbl.find table var)
+      | Term.Const _ as t -> t
+    in
+    let conv (a : Atom.t) = { a with Atom.args = Array.map ren a.Atom.args } in
+    let body = Array.of_list (List.map conv c.Clause.body) in
+    for i = Array.length body - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = body.(i) in
+      body.(i) <- body.(j);
+      body.(j) <- t
+    done;
+    Clause.make (conv c.Clause.head) (Array.to_list body)
+  in
+  [
+    qt ~count:500 "canonical_key is invariant under renaming + permutation"
+      QCheck2.Gen.(pair clause_gen (int_bound 1_000_000))
+      (fun (c, seed) ->
+        let st = Random.State.make [| seed |] in
+        String.equal (Clause.canonical_key c)
+          (Clause.canonical_key (rename_and_permute st c)));
+    qt ~count:500 "equal canonical keys imply θ-equivalence (soundness)"
+      QCheck2.Gen.(pair clause_gen clause_gen)
+      (fun (c, d) ->
+        (not (String.equal (Clause.canonical_key c) (Clause.canonical_key d)))
+        || Subsume.equivalent c d);
+    tc "automorphic literal groups key identically across orders" (fun () ->
+        (* p(A,B),q(B,B) and p(C,D),q(D,D) are interchangeable; the
+           final render sort must make both input orders agree *)
+        let lits nm1 nm2 =
+          [
+            atom "p" [ v (nm1 ^ "a"); v (nm1 ^ "b") ];
+            atom "q" [ v (nm1 ^ "b"); v (nm1 ^ "b") ];
+            atom "p" [ v (nm2 ^ "a"); v (nm2 ^ "b") ];
+            atom "q" [ v (nm2 ^ "b"); v (nm2 ^ "b") ];
+          ]
+        in
+        let c1 = cl (atom "t" [ k "a" ]) (lits "u" "v") in
+        let c2 = cl (atom "t" [ k "a" ]) (lits "v" "u") in
+        check Alcotest.string "same key" (Clause.canonical_key c1)
+          (Clause.canonical_key c2));
+    tc "distinct structures get distinct keys" (fun () ->
+        let c1 = cl (atom "t" [ v "x" ]) [ atom "p" [ v "x"; v "y" ] ] in
+        let c2 = cl (atom "t" [ v "x" ]) [ atom "p" [ v "x"; v "x" ] ] in
+        check Alcotest.bool "different" false
+          (String.equal (Clause.canonical_key c1) (Clause.canonical_key c2)));
   ]
 
 let budget_suite =
@@ -438,9 +573,13 @@ let budget_suite =
         let d = cl (atom "t" [ k "n0" ]) target_body in
         check Alcotest.bool "succeeds with budget" true
           (Subsume.subsumes ~max_steps:100_000 c d);
-        (* with a one-step budget the engine gives up conservatively *)
+        (* with a one-step budget and restarts disabled the engine
+           gives up conservatively *)
         check Alcotest.bool "fails with tiny budget" false
-          (Subsume.subsumes ~max_steps:1 c d));
+          (Subsume.subsumes ~max_steps:1 ~max_restarts:0 c d);
+        (* with restarts enabled the escalating budget recovers it *)
+        check Alcotest.bool "restarts recover the tiny budget" true
+          (Subsume.subsumes ~max_steps:1 ~max_restarts:24 c d));
     tc "budget exhaustion is conservative (never reports false positives)"
       (fun () ->
         let c = cl (atom "t" [ v "x" ]) [ atom "p" [ v "x"; k "zzz" ] ] in
@@ -450,4 +589,5 @@ let budget_suite =
 
 let suite =
   term_suite @ subst_suite @ clause_suite @ subsume_suite @ differential_suite
-  @ lgg_suite @ eval_suite @ minimize_suite @ rewrite_suite @ budget_suite
+  @ canonical_suite @ lgg_suite @ eval_suite @ minimize_suite @ rewrite_suite
+  @ budget_suite
