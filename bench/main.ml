@@ -5,7 +5,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe table9     -- one experiment
      (ids: table9 table10 table11 table12 table13 fig2 fig3 ex11
-           ablation micro)
+           ablation coverage_batch sensitivity micro)
 
    Scale note: the datasets are synthetic, laptop-sized equivalents of
    the paper's (DESIGN.md, "Substitutions"); absolute numbers differ
@@ -345,6 +345,69 @@ let ablation () =
     (Castor_ilp.Stats.snapshot ())
 
 (* ------------------------------------------------------------------ *)
+(* Batched semi-join coverage kernel                                   *)
+(* ------------------------------------------------------------------ *)
+
+let coverage_batch () =
+  section
+    "Coverage batch -- batched semi-join kernel vs per-example subsumption";
+  let ds = Uwcse.generate () in
+  let prep = Experiment.prepare ds "original" in
+  let pos = prep.Experiment.all_pos and neg = prep.Experiment.all_neg in
+  (* the cache would turn the second measurement into pure hits *)
+  Castor_ilp.Coverage.set_cache pos false;
+  Castor_ilp.Coverage.set_cache neg false;
+  let take k l =
+    let rec go k = function
+      | x :: tl when k > 0 -> x :: go (k - 1) tl
+      | _ -> []
+    in
+    go k l
+  in
+  (* candidate clauses: body prefixes of variabilized saturations, the
+     shapes the generalization search actually walks through *)
+  let clauses =
+    List.concat_map
+      (fun i ->
+        let bc, _ = Clause.variabilize pos.Castor_ilp.Coverage.bottoms.(i) in
+        List.map
+          (fun k -> Clause.make bc.Clause.head (take k bc.Clause.body))
+          [ 1; 2; 3; 4; 6 ])
+      (List.init (min 12 (Castor_ilp.Coverage.length pos)) Fun.id)
+  in
+  let run_all () =
+    List.map
+      (fun c ->
+        ( Castor_ilp.Coverage.vector pos c,
+          Castor_ilp.Coverage.vector neg c ))
+      clauses
+  in
+  let with_batch b =
+    Castor_ilp.Coverage.set_batch pos b;
+    Castor_ilp.Coverage.set_batch neg b;
+    let t0 = Unix.gettimeofday () in
+    let vs = run_all () in
+    (vs, Unix.gettimeofday () -. t0)
+  in
+  let _ = with_batch true (* warmup *) in
+  let off, t_off = with_batch false in
+  (* batched pass last, so the emitted metrics describe the kernel *)
+  let on_, t_on = with_batch true in
+  if not (List.for_all2 (fun (a, b) (c, d) -> a = c && b = d) on_ off) then
+    failwith "coverage_batch: batched kernel disagrees with Subsume";
+  let n = 2 * List.length clauses in
+  Fmt.pr "%d coverage vectors over %d candidate clauses (UW-CSE original):@." n
+    (List.length clauses);
+  Fmt.pr "  batched semi-join kernel  %8.3f s  (%7.1f vectors/s)@." t_on
+    (float_of_int n /. t_on);
+  Fmt.pr "  per-example Subsume       %8.3f s  (%7.1f vectors/s)@." t_off
+    (float_of_int n /. t_off);
+  Fmt.pr "  speedup %.2fx; kernel batches %d, fallbacks to Subsume %d@."
+    (t_off /. t_on)
+    (Obs.Counter.value Algebra.c_batches)
+    (Obs.Counter.value Castor_ilp.Coverage.c_batch_fallbacks)
+
+(* ------------------------------------------------------------------ *)
 (* Parameter sensitivity (Sec 9.1.2 discusses these knobs)             *)
 (* ------------------------------------------------------------------ *)
 
@@ -466,6 +529,7 @@ let all =
     ("fig3", fig3);
     ("ex11", ex11);
     ("ablation", ablation);
+    ("coverage_batch", coverage_batch);
     ("sensitivity", sensitivity);
     ("micro", micro);
   ]

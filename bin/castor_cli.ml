@@ -20,22 +20,16 @@ let dataset_of_name = function
   | "family" -> Family.generate ()
   | s -> failwith ("unknown dataset " ^ s ^ " (try uwcse|hiv|hiv-large|imdb|family)")
 
-let algo_of_name = function
-  | "castor" -> Algos.castor ()
-  | "castor-safe" ->
-      Algos.castor
-        ~params:{ Castor_core.Castor.default_params with safe = true }
-        ()
-  | "castor-subset" -> Algos.castor_subset ()
-  | "foil" -> Algos.foil ()
-  | "aleph-foil" -> Algos.aleph_foil ~clauselength:8 ()
-  | "aleph-progol" -> Algos.aleph_progol ~clauselength:8 ()
-  | "progolem" -> Algos.progolem ()
-  | "golem" -> Algos.golem ()
-  | s ->
-      failwith
-        ("unknown algorithm " ^ s
-       ^ " (try castor|castor-safe|castor-subset|foil|aleph-foil|aleph-progol|progolem|golem)")
+module Learner = Castor_learners.Learner
+
+(* every subcommand resolves learners through the one registry path *)
+let algo_of_name ?gate ?domains name =
+  try Algos.of_name ?gate ?domains name
+  with Learner.Unknown_learner s ->
+    failwith
+      ("unknown algorithm " ^ s ^ " (try "
+      ^ String.concat "|" (Learner.names ())
+      ^ ")")
 
 (* ---------------------------- learn ----------------------------- *)
 
@@ -188,8 +182,16 @@ let export_cmd =
 
 (* ---------------------------- import ---------------------------- *)
 
-let import dir algo =
-  let ds = Dataset.import ~name:(Filename.basename dir) dir in
+let gate_of_string = function
+  | "off" -> `Off
+  | "warn" -> `Warn
+  | "strict" -> `Strict
+  | s -> failwith ("unknown gate " ^ s ^ " (try off|warn|strict)")
+
+let import dir algo gate =
+  let ds =
+    Dataset.import ~name:(Filename.basename dir) ~gate:(gate_of_string gate) dir
+  in
   let a = algo_of_name algo in
   let prep = Experiment.prepare ds "base" in
   let t0 = Unix.gettimeofday () in
@@ -211,7 +213,13 @@ let import_cmd =
     Term.(
       const import
       $ Arg.(value & opt string "export" & info [ "i"; "in" ] ~doc:"Input directory.")
-      $ algo_arg)
+      $ algo_arg
+      $ Arg.(
+          value & opt string "warn"
+          & info [ "gate" ]
+              ~doc:
+                "Static-analysis gate for the imported files: off, warn or \
+                 strict (strict fails the import on errors)."))
 
 (* ------------------------------ sql ------------------------------ *)
 
@@ -238,14 +246,7 @@ let stats dataset variant algo domains json =
   let module Obs = Castor_obs.Obs in
   let ds = dataset_of_name dataset in
   let vname = Option.value ~default:(fst (List.hd ds.Dataset.variants)) variant in
-  let a =
-    (* Castor manages coverage domains itself via its params *)
-    if String.equal algo "castor" && domains > 1 then
-      Algos.castor
-        ~params:{ Castor_core.Castor.default_params with domains }
-        ()
-    else algo_of_name algo
-  in
+  let a = algo_of_name ~domains algo in
   let prep = Experiment.prepare ds vname in
   Castor_ilp.Coverage.set_domains prep.Experiment.all_pos domains;
   Castor_ilp.Coverage.set_domains prep.Experiment.all_neg domains;

@@ -76,6 +76,17 @@ let rules : rule list =
       doc = "a relation has no key or IND-linked attribute to enter literals through" };
     { id = "mode/saturation-budget"; severity = Warning;
       doc = "estimated saturation literal/variable counts against max_terms predict subsumption budget exhaustion" };
+    (* import lints *)
+    { id = "import/example-relation"; severity = Error;
+      doc = "an imported example's relation differs from the declared target" };
+    { id = "import/example-arity"; severity = Error;
+      doc = "an imported example's arity differs from the target declaration" };
+    { id = "import/target-shadows-relation"; severity = Warning;
+      doc = "the declared target shares its name with a schema relation" };
+    { id = "import/duplicate-example"; severity = Warning;
+      doc = "the same example atom is listed more than once with one label" };
+    { id = "import/conflicting-label"; severity = Error;
+      doc = "one example atom is labeled both positive and negative" };
   ]
 
 let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules
@@ -154,3 +165,83 @@ let dataset_checks ?mode ?budget ~(base : Schema.t)
       variants
   in
   base_diags :: variant_diags
+
+(** [import_examples ~schema ~target labeled] lints the example section
+    of an imported dataset: every example must be an atom of the
+    declared target (name and arity), the target must not shadow a
+    schema relation, no atom may be listed twice, and no atom may carry
+    both labels. [labeled] pairs each example with its label ([true] =
+    positive) and its source span in [examples.castor]. *)
+let import_examples ~(schema : Schema.t) ~(target : Schema.relation)
+    (labeled : (bool * Atom.t * Diagnostic.span option) list) =
+  let d = Diagnostic.make in
+  let shadow =
+    if
+      List.exists
+        (fun (r : Schema.relation) -> String.equal r.Schema.rname target.Schema.rname)
+        schema.Schema.relations
+    then
+      [
+        d ~rule:"import/target-shadows-relation" ~severity:Diagnostic.Warning
+          ~subject:target.Schema.rname
+          "target %s shares its name with a schema relation; the batched \
+           coverage kernel is disabled for shadowed targets"
+          target.Schema.rname;
+      ]
+    else []
+  in
+  let tarity = List.length target.Schema.attrs in
+  let seen : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let per_example =
+    List.concat_map
+      (fun (is_pos, (a : Atom.t), span) ->
+        let subject = Atom.to_string a in
+        let shape =
+          if not (String.equal a.Atom.rel target.Schema.rname) then
+            [
+              d ?span ~rule:"import/example-relation" ~severity:Diagnostic.Error
+                ~subject "example relation %s does not match target %s"
+                a.Atom.rel target.Schema.rname;
+            ]
+          else if Atom.arity a <> tarity then
+            [
+              d ?span ~rule:"import/example-arity" ~severity:Diagnostic.Error
+                ~subject "example has arity %d but target %s declares %d"
+                (Atom.arity a) target.Schema.rname tarity;
+            ]
+          else []
+        in
+        let dup =
+          match Hashtbl.find_opt seen subject with
+          | None ->
+              Hashtbl.add seen subject is_pos;
+              []
+          | Some prev when prev = is_pos ->
+              [
+                d ?span ~rule:"import/duplicate-example"
+                  ~severity:Diagnostic.Warning ~subject
+                  "example listed more than once as %s"
+                  (if is_pos then "pos" else "neg");
+              ]
+          | Some _ ->
+              [
+                d ?span ~rule:"import/conflicting-label"
+                  ~severity:Diagnostic.Error ~subject
+                  "example labeled both pos and neg";
+              ]
+        in
+        shape @ dup)
+      labeled
+  in
+  shadow @ per_example
+
+(** [import_schema ~spans schema] — the schema lints with declaration
+    positions from {!Castor_relational.Text.parse_schema_spanned}
+    attached to diagnostics whose subject is a relation name. *)
+let import_schema ~spans (s : Schema.t) =
+  List.map
+    (fun (diag : Diagnostic.t) ->
+      match (diag.Diagnostic.span, List.assoc_opt diag.Diagnostic.subject spans) with
+      | None, Some pos -> { diag with Diagnostic.span = Some (Diagnostic.span_of_pos pos) }
+      | _ -> diag)
+    (schema s)

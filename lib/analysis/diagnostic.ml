@@ -43,6 +43,15 @@ let has_errors ds = List.exists (fun d -> d.severity = Error) ds
 
 let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
 
+(** The three-position gate every analysis entry point shares:
+    [`Off] skips the pass, [`Warn] reports diagnostics, [`Strict]
+    additionally rejects on errors. *)
+type gate = [ `Off | `Warn | `Strict ]
+
+(** Raised by a [`Strict] gate when error-severity diagnostics are
+    present. *)
+exception Rejected of t list
+
 let span_of_pos (p : Castor_relational.Lexer.pos) =
   { line = p.Castor_relational.Lexer.line; col = p.Castor_relational.Lexer.col }
 
@@ -66,6 +75,28 @@ let render ds =
     (Fmt.str "%d error(s), %d warning(s), %d info(s)\n" (count Error ds)
        (count Warning ds) (count Info ds));
   Buffer.contents buf
+
+let () =
+  Printexc.register_printer (function
+    | Rejected diags ->
+        Some
+          (Fmt.str "Rejected: static analysis found errors@.%s" (render diags))
+    | _ -> None)
+
+(** [apply_gate gate ~subject diags] runs the shared gate: [`Off]
+    ignores the diagnostics, [`Warn] and [`Strict] print the non-info
+    ones on stderr labelled with [subject], and [`Strict] additionally
+    raises {!Rejected} when errors are present. *)
+let apply_gate (gate : gate) ~subject diags =
+  match gate with
+  | `Off -> ()
+  | (`Warn | `Strict) as g ->
+      let visible = List.filter (fun d -> d.severity <> Info) diags in
+      if visible <> [] then
+        Fmt.epr "@[<v>castor: %s fails static analysis:@,%a@]@." subject
+          Fmt.(list ~sep:cut pp)
+          visible;
+      if g = `Strict && has_errors diags then raise (Rejected (errors diags))
 
 (* minimal JSON encoder, same contract as Obs.to_json *)
 let json_escape s =

@@ -152,3 +152,43 @@ let learn ?(params = default_params) (p : Problem.t) =
   Coverage.set_domains p.Problem.pos_cov 1;
   Coverage.set_domains p.Problem.neg_cov 1;
   outcome.Covering.definition
+
+(* ------------------------- unified API --------------------------- *)
+
+let params_of_config ?(base = default_params) (c : Learner.config) =
+  {
+    base with
+    sample = c.Learner.sample;
+    beam = c.Learner.beam;
+    min_precision = c.Learner.min_precision;
+    minpos = c.Learner.minpos;
+    max_clauses = c.Learner.max_clauses;
+    safe = c.Learner.safe;
+    domains = c.Learner.domains;
+  }
+
+(** Castor behind the unified {!Learner.S} surface. *)
+module Unified : Learner.S =
+  (val Learner.make ~name:"castor"
+         (fun c p -> learn ~params:(params_of_config c) p))
+
+(** Castor restricted to safe clauses, whatever the config says. *)
+module Unified_safe : Learner.S =
+  (val Learner.make ~name:"castor-safe"
+         ~defaults:{ Learner.default_config with Learner.safe = true }
+         (fun c p -> learn ~params:{ (params_of_config c) with safe = true } p))
+
+(** Castor in general-IND mode (subset INDs used directly) — the
+    Table 12 configuration. *)
+module Unified_subset : Learner.S =
+  (val Learner.make ~name:"castor-subset"
+         (fun c p ->
+           learn ~params:{ (params_of_config c) with mode = `Subset_too } p))
+
+let () =
+  Learner.register (module Unified);
+  Learner.register (module Unified_safe);
+  Learner.register (module Unified_subset)
+
+let learn_with_params = learn
+  [@@deprecated "use Unified.learn / Learner.find \"castor\" instead"]

@@ -146,14 +146,30 @@ let export t dir =
     t.examples.Examples.neg;
   write_file (Filename.concat dir "examples.castor") (Buffer.contents buf)
 
-(** [import ~name dir] reads a dataset back from {!export}'s layout. *)
-let import ~name dir =
+(** [import ~name ?gate dir] reads a dataset back from {!export}'s
+    layout. The parsed schema and examples are linted
+    ({!Castor_analysis.Analyze.import_schema} /
+    [Analyze.import_examples]) with [schema.castor] /
+    [examples.castor] line:column spans attached, through the same
+    [`Off | `Warn | `Strict] gate as {!Castor_learners.Problem.make}:
+    [`Warn] (default) prints the diagnostics, [`Strict] additionally
+    raises {!Castor_analysis.Diagnostic.Rejected} on errors. *)
+let import ~name ?(gate = (`Warn : Castor_analysis.Diagnostic.gate)) dir =
   let open Castor_relational in
-  let schema = Text.parse_schema (read_file (Filename.concat dir "schema.castor")) in
+  let module Analyze = Castor_analysis.Analyze in
+  let module Diagnostic = Castor_analysis.Diagnostic in
+  let schema, rel_spans =
+    Text.parse_schema_spanned (read_file (Filename.concat dir "schema.castor"))
+  in
+  Diagnostic.apply_gate gate
+    ~subject:(Filename.concat dir "schema.castor")
+    (Analyze.import_schema ~spans:rel_spans schema);
   let instance = Text.parse_facts schema (read_file (Filename.concat dir "facts.castor")) in
   let c = Lexer.cursor (Lexer.tokenize (read_file (Filename.concat dir "examples.castor"))) in
   let target = ref None in
   let pos = ref [] and neg = ref [] in
+  let labeled = ref [] in
+  let note is_pos span atom = labeled := (is_pos, atom, Some span) :: !labeled in
   let parse_example () =
     let rel = Lexer.ident c in
     Lexer.expect c Lexer.Lparen;
@@ -194,10 +210,16 @@ let import ~name dir =
         target := Some (Schema.relation rname attrs);
         go ()
     | Lexer.Ident "pos" ->
-        pos := parse_example () :: !pos;
+        let span = Castor_analysis.Diagnostic.span_of_pos (Lexer.last_pos c) in
+        let e = parse_example () in
+        note true span e;
+        pos := e :: !pos;
         go ()
     | Lexer.Ident "neg" ->
-        neg := parse_example () :: !neg;
+        let span = Castor_analysis.Diagnostic.span_of_pos (Lexer.last_pos c) in
+        let e = parse_example () in
+        note false span e;
+        neg := e :: !neg;
         go ()
     | t -> Lexer.err c "expected 'target', 'pos' or 'neg', found %a" Lexer.pp_token t
   in
@@ -205,6 +227,10 @@ let import ~name dir =
   match !target with
   | None -> Lexer.error "examples.castor declares no target"
   | Some target ->
+      Castor_analysis.Diagnostic.apply_gate gate
+        ~subject:(Filename.concat dir "examples.castor")
+        (Castor_analysis.Analyze.import_examples ~schema ~target
+           (List.rev !labeled));
       of_instance ~name ~target instance
         (Examples.make ~pos:(List.rev !pos) ~neg:(List.rev !neg))
 

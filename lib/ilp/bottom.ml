@@ -91,9 +91,19 @@ let group_key (lits : Atom.t list) =
     instance) sorted by the group's constant multiset, which is pure
     data and therefore identical across information-equivalent
     schemas. *)
-let saturation ?(expand = fun _ _ -> []) ~params inst (e : Atom.t) =
+let saturation ?(expand = fun _ _ -> []) ?lookup ~params inst (e : Atom.t) =
   Obs.Span.with_span span_saturation @@ fun () ->
   Obs.Counter.incr Stats.c_saturations;
+  (* The frontier neighborhood query. The default reads the flat
+     instance index; {!Coverage.build} passes the sharded
+     {!Castor_relational.Store} instead. Hits are canonically re-sorted
+     below, so any provider returning the same tuple set is
+     equivalent. *)
+  let lookup =
+    match lookup with
+    | Some f -> f
+    | None -> fun rel v -> Instance.tuples_containing inst rel v
+  in
   let schema = Instance.schema inst in
   let rels = List.map (fun (r : Schema.relation) -> r.Schema.rname) schema.Schema.relations in
   let expandable_pos =
@@ -152,11 +162,15 @@ let saturation ?(expand = fun _ _ -> []) ~params inst (e : Atom.t) =
            List.iter
              (fun rel ->
                (* canonical hit order so per-relation caps select the
-                  same data in every schema *)
+                  same data in every schema — and, via the total
+                  tie-break, independently of the lookup provider's
+                  enumeration order *)
                let hits =
                  List.sort
-                   (fun a b -> compare (tuple_key a) (tuple_key b))
-                   (Instance.tuples_containing inst rel v)
+                   (fun a b ->
+                     let c = compare (tuple_key a) (tuple_key b) in
+                     if c <> 0 then c else Tuple.compare a b)
+                   (lookup rel v)
                in
                let rec take n = function
                  | [] -> ()
@@ -270,7 +284,7 @@ let prune_redundant (bc : Clause.t) =
 (** [bottom_clause ?expand ?prune ~params inst e] is the variabilized
     bottom clause [⊥e]. With [~prune:true] the statically redundant
     literals are dropped before the clause is handed to ARMG. *)
-let bottom_clause ?expand ?(prune = false) ~params inst e =
-  let sat = saturation ?expand ~params inst e in
+let bottom_clause ?expand ?lookup ?(prune = false) ~params inst e =
+  let sat = saturation ?expand ?lookup ~params inst e in
   let bc = variabilize ~schema:(Instance.schema inst) ~params sat in
   if prune then prune_redundant bc else bc

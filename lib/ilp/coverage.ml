@@ -15,6 +15,7 @@
     re-tested. Coverage tests can also be fanned out over domains
     ({!Parallel}). *)
 
+open Castor_relational
 open Castor_logic
 module Obs = Castor_obs.Obs
 
@@ -28,13 +29,69 @@ type t = {
   mutable force_parallel : bool;
       (** fan out even when the runtime reports one hardware thread —
           used by tests that must exercise real worker domains *)
+  store : Store.t option;
+      (** sharded store of the ground saturations, keyed by example id
+          (column 0 of every relation) — the operand of the batched
+          semi-join kernel; [None] when the kernel cannot apply (e.g.
+          the target relation shadows a schema relation) *)
+  eids : int array;
+      (** example id in [store] of each local example; restriction via
+          {!sub} remaps indexes but shares the store *)
+  mutable batch_enabled : bool;
 }
 
-(** [build ?expand ~params ~max_steps inst examples] precomputes the
-    saturations of [examples]. *)
-let build ?expand ~params ?(max_steps = 250_000) inst (examples : Atom.t array) =
+(* Load every ground saturation into a sharded store: relation R of
+   arity a is stored with arity a + 1, column 0 carrying the example
+   id (also the partitioning key, so one example's literals are
+   shard-local). The target relation holds the head atoms. *)
+let example_store ~shards inst (examples : Atom.t array)
+    (bottoms : Clause.t array) =
+  if Array.length examples = 0 then None
+  else begin
+    let schema = Instance.schema inst in
+    let rels =
+      List.map
+        (fun (r : Schema.relation) ->
+          (r.Schema.rname, List.length r.Schema.attrs + 1))
+        schema.Schema.relations
+    in
+    let trel = examples.(0).Atom.rel in
+    let tarity = Atom.arity examples.(0) in
+    let uniform =
+      Array.for_all
+        (fun (e : Atom.t) ->
+          String.equal e.Atom.rel trel && Atom.arity e = tarity)
+        examples
+    in
+    if (not uniform) || List.mem_assoc trel rels then None
+    else begin
+      let store = Store.create ~shards (rels @ [ (trel, tarity + 1) ]) in
+      Array.iteri
+        (fun i (c : Clause.t) ->
+          let eid = Value.int i in
+          let put (a : Atom.t) =
+            if Atom.is_ground a then
+              ignore
+                (Store.add store a.Atom.rel
+                   (Array.append [| eid |] (Atom.to_tuple a)))
+          in
+          put c.Clause.head;
+          List.iter put c.Clause.body)
+        bottoms;
+      Some store
+    end
+  end
+
+(** [build ?expand ~params ~max_steps ?shards inst examples]
+    precomputes the saturations of [examples]. Saturation neighborhood
+    queries and the batched coverage kernel both run against sharded
+    {!Castor_relational.Store}s partitioned across [shards]. *)
+let build ?expand ~params ?(max_steps = 250_000)
+    ?(shards = Store.default_shards) inst (examples : Atom.t array) =
+  let inst_store = Store.of_instance ~shards inst in
+  let lookup rel v = Store.tuples_containing inst_store rel v in
   let bottoms =
-    Array.map (fun e -> Bottom.saturation ?expand ~params inst e) examples
+    Array.map (fun e -> Bottom.saturation ?expand ~lookup ~params inst e) examples
   in
   {
     examples;
@@ -44,6 +101,9 @@ let build ?expand ~params ?(max_steps = 250_000) inst (examples : Atom.t array) 
     cache_enabled = true;
     domains = 1;
     force_parallel = false;
+    store = example_store ~shards inst examples bottoms;
+    eids = Array.init (Array.length examples) Fun.id;
+    batch_enabled = true;
   }
 
 let length t = Array.length t.examples
@@ -82,6 +142,9 @@ let sub t idxs =
     cache_enabled = t.cache_enabled;
     domains = t.domains;
     force_parallel = t.force_parallel;
+    store = t.store;
+    eids = Array.map (fun i -> t.eids.(i)) idxs;
+    batch_enabled = t.batch_enabled;
   }
 
 let set_domains t n = t.domains <- max 1 n
@@ -90,7 +153,90 @@ let set_force_parallel t b = t.force_parallel <- b
 
 let set_cache t b = t.cache_enabled <- b
 
+(** [set_batch t b] toggles the batched semi-join kernel; with [false]
+    every test goes through per-example θ-subsumption (the
+    differential battery compares the two). *)
+let set_batch t b = t.batch_enabled <- b
+
+(** The example-saturation store, when the kernel is available — lets
+    learners reuse it for their own neighborhood queries. *)
+let store t = t.store
+
 let clear_cache t = Hashtbl.reset t.cache
+
+(* ---------------- batched semi-join coverage ----------------------- *)
+
+(* How often a vector call could ride the kernel vs. fell back to
+   per-example subsumption because the clause is not acyclic-join
+   shaped. *)
+let c_batch_eligible = Obs.Counter.create "ilp.coverage.batch_eligible"
+
+let c_batch_fallbacks = Obs.Counter.create "ilp.coverage.batch_fallbacks"
+
+let pattern_of_atom (a : Atom.t) =
+  {
+    Algebra.prel = a.Atom.rel;
+    pargs =
+      Array.map
+        (function
+          | Term.Var v -> Algebra.Avar v
+          | Term.Const c -> Algebra.Aconst c)
+        a.Atom.args;
+  }
+
+(* The kernel applies when the clause — head included, since the head
+   must match the bottom clause's head under the same substitution —
+   is an acyclic join (GYO over the literals' variable sets; adding
+   the shared example-id column preserves acyclicity). *)
+let batch_plan t clause =
+  match t.store with
+  | None -> None
+  | Some store ->
+      if not t.batch_enabled then None
+      else begin
+        let patterns =
+          List.map pattern_of_atom (clause.Clause.head :: clause.Clause.body)
+        in
+        match Hypergraph.join_forest (List.map Algebra.pattern_vars patterns) with
+        | Some _ ->
+            Obs.Counter.incr c_batch_eligible;
+            Some (store, patterns)
+        | None ->
+            Obs.Counter.incr c_batch_fallbacks;
+            None
+      end
+
+(* Answer one vector through the kernel: collect the examples the
+   masks leave undecided, query their ids in one batch (fanned out
+   over the Parallel pool when domains > 1), then fill in the masked
+   positions. *)
+let batched_vector ?assume ?within t store patterns =
+  let n = Array.length t.examples in
+  let undecided i =
+    (match within with Some m when not m.(i) -> false | _ -> true)
+    && match assume with Some k when k.(i) -> false | _ -> true
+  in
+  let positions =
+    Array.of_list
+      (List.filter undecided (List.init n Fun.id))
+  in
+  let eids = Array.map (fun i -> t.eids.(i)) positions in
+  let fanout =
+    if t.domains <= 1 then None
+    else
+      Some
+        (fun shards f ->
+          Parallel.init ~force:t.force_parallel ~domains:t.domains shards f)
+  in
+  let res = Algebra.semijoin_batch ?fanout store ~patterns ~eids in
+  let v =
+    Array.init n (fun i ->
+        match within with
+        | Some m when not m.(i) -> false
+        | _ -> ( match assume with Some k when k.(i) -> true | _ -> false))
+  in
+  Array.iteri (fun j pos -> v.(pos) <- res.(j)) positions;
+  v
 
 (** [covers t clause i] tests coverage of the [i]-th example alone. A
     full vector cached for the same (α-equivalent) clause answers
@@ -139,21 +285,29 @@ let vector ?assume ?within t clause =
       | None -> Array.copy v)
   | None ->
       if t.cache_enabled then Obs.Counter.incr c_cache_misses;
-      let test i =
-        match within with
-        | Some mask when not mask.(i) -> false
-        | _ -> (
-            match assume with
-            | Some known when known.(i) -> true
-            | _ ->
-                Obs.Counter.incr Stats.c_subsumption_tests;
-                Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i))
-      in
       let v =
-        if t.domains <= 1 then Array.init (length t) test
-        else
-          Parallel.init ~force:t.force_parallel ~domains:t.domains (length t)
-            test
+        match batch_plan t clause with
+        | Some (store, patterns) ->
+            (* acyclic-join clause: one semi-join program per shard
+               answers the whole batch *)
+            batched_vector ?assume ?within t store patterns
+        | None ->
+            (* cyclic (or kernel-less) clause: per-example subsumption *)
+            let test i =
+              match within with
+              | Some mask when not mask.(i) -> false
+              | _ -> (
+                  match assume with
+                  | Some known when known.(i) -> true
+                  | _ ->
+                      Obs.Counter.incr Stats.c_subsumption_tests;
+                      Subsume.subsumes ~max_steps:t.max_steps clause
+                        t.bottoms.(i))
+            in
+            if t.domains <= 1 then Array.init (length t) test
+            else
+              Parallel.init ~force:t.force_parallel ~domains:t.domains
+                (length t) test
       in
       if cacheable then Hashtbl.replace t.cache key (Array.copy v);
       v

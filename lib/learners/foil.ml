@@ -257,3 +257,23 @@ let learn ?(params = default_params) (p : Problem.t) =
       (Examples.n_pos p.Problem.train)
   in
   outcome.Covering.definition
+
+(* ------------------------- unified API --------------------------- *)
+
+let params_of_config (c : Learner.config) =
+  {
+    default_params with
+    clauselength = c.Learner.clauselength;
+    min_precision = c.Learner.min_precision;
+    minpos = c.Learner.minpos;
+    max_clauses = c.Learner.max_clauses;
+  }
+
+(** FOIL behind the unified {!Learner.S} surface. *)
+module Unified : Learner.S =
+  (val Learner.make ~name:"foil" (fun c p -> learn ~params:(params_of_config c) p))
+
+let () = Learner.register (module Unified)
+
+let learn_with_params = learn
+  [@@deprecated "use Unified.learn / Learner.find \"foil\" instead"]

@@ -135,3 +135,26 @@ let learn ?(params = default_params) (p : Problem.t) =
       (Examples.n_pos p.Problem.train)
   in
   outcome.Covering.definition
+
+(* ------------------------- unified API --------------------------- *)
+
+let params_of_config (c : Learner.config) =
+  {
+    default_params with
+    sample = c.Learner.sample;
+    min_precision = c.Learner.min_precision;
+    minpos = c.Learner.minpos;
+    max_clauses = c.Learner.max_clauses;
+  }
+
+(** Golem behind the unified {!Learner.S} surface; its default config
+    keeps Golem's larger pair-sampling budget. *)
+module Unified : Learner.S =
+  (val Learner.make ~name:"golem"
+         ~defaults:{ Learner.default_config with Learner.sample = 8 }
+         (fun c p -> learn ~params:(params_of_config c) p))
+
+let () = Learner.register (module Unified)
+
+let learn_with_params = learn
+  [@@deprecated "use Unified.learn / Learner.find \"golem\" instead"]

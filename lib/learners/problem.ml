@@ -10,17 +10,15 @@ open Castor_ilp
 module Diagnostic = Castor_analysis.Diagnostic
 module Obs = Castor_obs.Obs
 
-(** Raised by the [`Strict] pre-learning gate when the static analysis
-    finds error-severity diagnostics in the problem configuration. *)
-exception Rejected of Diagnostic.t list
+(** The shared analysis gate position ([`Off | `Warn | `Strict]) —
+    the same type {!Castor_analysis.Diagnostic.gate} used by dataset
+    import, so one flag drives every analysis entry point. *)
+type gate = Diagnostic.gate
 
-let () =
-  Printexc.register_printer (function
-    | Rejected diags ->
-        Some
-          (Fmt.str "Problem.Rejected: configuration fails static analysis@.%s"
-             (Diagnostic.render diags))
-    | _ -> None)
+(** Raised by the [`Strict] pre-learning gate when the static analysis
+    finds error-severity diagnostics in the problem configuration.
+    Shared with every other [`Strict] gate. *)
+exception Rejected = Diagnostic.Rejected
 
 let c_gate_runs = Obs.Counter.create "learners.gate.runs"
 
@@ -58,8 +56,8 @@ let head_domains p = List.map (fun a -> a.Schema.domain) p.target.Schema.attrs
    paying for the example saturations. [`Warn] reports diagnostics on
    stderr, [`Strict] additionally raises {!Rejected} on errors,
    [`Off] skips the analysis entirely. *)
-let run_gate gate ~(bottom_params : Bottom.params) ~const_pool ~max_steps
-    instance target =
+let run_gate (gate : gate) ~(bottom_params : Bottom.params) ~const_pool
+    ~max_steps instance target =
   match gate with
   | `Off -> ()
   | (`Warn | `Strict) as g ->
@@ -79,20 +77,11 @@ let run_gate gate ~(bottom_params : Bottom.params) ~const_pool ~max_steps
           ~no_expand_domains:bottom_params.Bottom.no_expand_domains
           (Instance.schema instance)
       in
-      let errors = Diagnostic.errors diags in
-      Obs.Counter.add c_gate_errors (List.length errors);
+      Obs.Counter.add c_gate_errors (List.length (Diagnostic.errors diags));
       Obs.Counter.add c_gate_warnings (Diagnostic.count Diagnostic.Warning diags);
-      let visible =
-        List.filter
-          (fun (d : Diagnostic.t) -> d.Diagnostic.severity <> Diagnostic.Info)
-          diags
-      in
-      if visible <> [] then
-        Fmt.epr "@[<v>castor: problem %s fails pre-learning analysis:@,%a@]@."
-          target.Schema.rname
-          Fmt.(list ~sep:cut Diagnostic.pp)
-          visible;
-      if g = `Strict && errors <> [] then raise (Rejected errors)
+      Diagnostic.apply_gate g
+        ~subject:(Fmt.str "problem %s" target.Schema.rname)
+        diags
 
 (** [make ?bottom_params ?const_pool ?seed ?expand ?gate inst target
     train] assembles a problem, precomputing the example saturations.
@@ -115,6 +104,13 @@ let make ?(bottom_params = Bottom.default_params) ?(const_pool = []) ?(seed = 42
     bottom_params;
     rng = Random.State.make [| seed |];
   }
+
+(** [recheck ?gate p] re-runs the pre-learning static analysis over an
+    already-built problem — used by the unified {!Learner} entry point
+    so a problem built with [`Off] can still be gated at learn time. *)
+let recheck ?(gate = (`Warn : gate)) p =
+  run_gate gate ~bottom_params:p.bottom_params ~const_pool:p.const_pool
+    ~max_steps:p.pos_cov.Coverage.max_steps p.instance p.target
 
 (** A learner maps a problem to a Horn definition of the target. *)
 type learner = t -> Clause.definition

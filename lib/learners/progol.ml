@@ -180,3 +180,42 @@ let learn ?(params = default_params) (p : Problem.t) =
       (Examples.n_pos p.Problem.train)
   in
   outcome.Covering.definition
+
+(* ------------------------- unified API --------------------------- *)
+
+let params_of_config ~emulation (c : Learner.config) =
+  let base =
+    match emulation with
+    | `Foil -> aleph_foil ~clauselength:c.Learner.clauselength
+    | `Progol -> aleph_progol ~clauselength:c.Learner.clauselength
+  in
+  {
+    base with
+    min_precision = c.Learner.min_precision;
+    minpos = c.Learner.minpos;
+    max_clauses = c.Learner.max_clauses;
+  }
+
+(* both Aleph emulations default to clauselength 8, the CLI's
+   historical setting *)
+let aleph_defaults = { Learner.default_config with Learner.clauselength = 8 }
+
+(** Greedy Aleph (FOIL-emulation) behind the unified {!Learner.S}
+    surface. *)
+module Unified_aleph_foil : Learner.S =
+  (val Learner.make ~name:"aleph-foil" ~defaults:aleph_defaults
+         (fun c p -> learn ~params:(params_of_config ~emulation:`Foil c) p))
+
+(** Default Aleph (Progol-emulation) behind the unified {!Learner.S}
+    surface. *)
+module Unified_aleph_progol : Learner.S =
+  (val Learner.make ~name:"aleph-progol" ~defaults:aleph_defaults
+         (fun c p -> learn ~params:(params_of_config ~emulation:`Progol c) p))
+
+let () =
+  Learner.register (module Unified_aleph_foil);
+  Learner.register (module Unified_aleph_progol)
+
+let learn_with_params = learn
+  [@@deprecated
+    "use Unified_aleph_foil.learn / Learner.find \"aleph-foil\" instead"]

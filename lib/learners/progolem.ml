@@ -187,3 +187,25 @@ let learn ?(params = default_params) (p : Problem.t) =
       (Examples.n_pos p.Problem.train)
   in
   outcome.Covering.definition
+
+(* ------------------------- unified API --------------------------- *)
+
+let params_of_config (c : Learner.config) =
+  {
+    sample = c.Learner.sample;
+    beam = c.Learner.beam;
+    min_precision = c.Learner.min_precision;
+    minpos = c.Learner.minpos;
+    max_clauses = c.Learner.max_clauses;
+    require_safe = c.Learner.safe;
+  }
+
+(** ProGolem behind the unified {!Learner.S} surface. *)
+module Unified : Learner.S =
+  (val Learner.make ~name:"progolem"
+         (fun c p -> learn ~params:(params_of_config c) p))
+
+let () = Learner.register (module Unified)
+
+let learn_with_params = learn
+  [@@deprecated "use Unified.learn / Learner.find \"progolem\" instead"]

@@ -106,6 +106,223 @@ let natural_join_all = function
 (** [select tbl pred] keeps the rows satisfying [pred]. *)
 let select tbl pred = { tbl with trows = List.filter pred tbl.trows }
 
+(* ------------------------------------------------------------------ *)
+(* Batched semi-join kernel over a sharded store                       *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Castor_obs.Obs
+
+let c_batches = Obs.Counter.create "algebra.semijoin.batches"
+
+let c_batch_examples = Obs.Counter.create "algebra.semijoin.examples"
+
+let c_shard_tasks = Obs.Counter.create "algebra.semijoin.shard_tasks"
+
+let c_rows_scanned = Obs.Counter.create "algebra.semijoin.rows_scanned"
+
+let c_semijoins = Obs.Counter.create "algebra.semijoin.semijoins"
+
+let span_batch = Obs.Span.create "algebra.semijoin.batch"
+
+(** One literal of a conjunctive pattern, matched against a stored
+    relation. Argument [j] of the pattern corresponds to column
+    [j + 1] of the stored relation: by convention column 0 of every
+    relation in the store carries the {e example id} (an [Int]), which
+    is also the partitioning key — so a batch of examples evaluates
+    shard-locally. *)
+type arg = Avar of string | Aconst of Value.t
+
+type pattern = { prel : string; pargs : arg array }
+
+(** Raised when the pattern hypergraph is cyclic — the caller should
+    fall back to a general evaluator (θ-subsumption in the ILP
+    layer). *)
+exception Cyclic_pattern
+
+(** Distinct variables of a pattern, in first-occurrence order. *)
+let pattern_vars p =
+  Array.fold_left
+    (fun acc a ->
+      match a with
+      | Avar v when not (List.mem v acc) -> v :: acc
+      | _ -> acc)
+    [] p.pargs
+  |> List.rev
+
+(* An intermediate semi-join operand: row.(0) is the example id and
+   row.(k + 1) the binding of the k-th variable of [svars]. *)
+type sj_table = { svars : string list; mutable srows : Tuple.t list }
+
+(* Scan one pattern against one shard: pick an indexed access path
+   when the pattern carries a constant, filter on constants and
+   repeated variables, and project to (eid, distinct variables),
+   deduplicated. *)
+let scan_pattern store s (p : pattern) =
+  let vars = pattern_vars p in
+  let candidates =
+    if not (Store.has_relation store p.prel) then []
+    else begin
+      let const =
+        let found = ref None in
+        Array.iteri
+          (fun j a ->
+            match (a, !found) with
+            | Aconst v, None -> found := Some (j, v)
+            | _ -> ())
+          p.pargs;
+        !found
+      in
+      match const with
+      | Some (j, v) -> Store.find_in_shard store s p.prel (j + 1) v
+      | None -> Store.shard_tuples store s p.prel
+    end
+  in
+  let matches (row : Tuple.t) =
+    Array.length row = Array.length p.pargs + 1
+    &&
+    let binding = Hashtbl.create 8 in
+    let ok = ref true in
+    Array.iteri
+      (fun j a ->
+        if !ok then
+          match a with
+          | Aconst v -> if not (Value.equal row.(j + 1) v) then ok := false
+          | Avar x -> (
+              match Hashtbl.find_opt binding x with
+              | Some v -> if not (Value.equal row.(j + 1) v) then ok := false
+              | None -> Hashtbl.add binding x row.(j + 1)))
+      p.pargs;
+    !ok
+  in
+  let proj =
+    0
+    :: List.map
+         (fun x ->
+           let pos = ref 0 in
+           Array.iteri
+             (fun j a ->
+               match a with
+               | Avar y when String.equal x y && !pos = 0 -> pos := j + 1
+               | _ -> ())
+             p.pargs;
+           !pos)
+         vars
+  in
+  let seen = Hashtbl.create 64 in
+  let rows =
+    List.filter_map
+      (fun row ->
+        Obs.Counter.incr c_rows_scanned;
+        if matches row then begin
+          let pr = Tuple.project proj row in
+          if Hashtbl.mem seen pr then None
+          else begin
+            Hashtbl.replace seen pr ();
+            Some pr
+          end
+        end
+        else None)
+      candidates
+  in
+  { svars = vars; srows = rows }
+
+(* parent ⋉ child on the example id plus their shared variables *)
+let semijoin parent child =
+  Obs.Counter.incr c_semijoins;
+  let shared = List.filter (fun v -> List.mem v parent.svars) child.svars in
+  let pos_in tbl v =
+    let rec go i = function
+      | [] -> raise Not_found
+      | x :: _ when String.equal x v -> i + 1
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 tbl.svars
+  in
+  let cpos = 0 :: List.map (pos_in child) shared in
+  let ppos = 0 :: List.map (pos_in parent) shared in
+  let keys = Hashtbl.create (List.length child.srows) in
+  List.iter (fun r -> Hashtbl.replace keys (Tuple.project cpos r) ()) child.srows;
+  parent.srows <-
+    List.filter (fun r -> Hashtbl.mem keys (Tuple.project ppos r)) parent.srows
+
+(* Evaluate the whole semi-join program on one shard: scan every
+   pattern, run the Yannakakis bottom-up pass in ear-removal order,
+   then intersect the surviving example-id sets of the component
+   roots. *)
+let run_shard store pats order s targets =
+  Obs.Counter.incr c_shard_tasks;
+  match targets with
+  | [] -> [||]
+  | _ ->
+      let tables = Array.map (scan_pattern store s) pats in
+      let root_sets = ref [] in
+      List.iter
+        (fun (e, parent) ->
+          match parent with
+          | Some f -> semijoin tables.(f) tables.(e)
+          | None ->
+              let set = Hashtbl.create 64 in
+              List.iter
+                (fun (r : Tuple.t) -> Hashtbl.replace set r.(0) ())
+                tables.(e).srows;
+              root_sets := set :: !root_sets)
+        order;
+      let sets = !root_sets in
+      Array.of_list
+        (List.map
+           (fun eid ->
+             List.for_all (fun set -> Hashtbl.mem set (Value.int eid)) sets)
+           targets)
+
+(** [semijoin_batch ?fanout store ~patterns ~eids] answers, for each
+    of the [k] example ids in [eids], whether the conjunctive
+    [patterns] have at least one satisfying assignment among the
+    example's stored tuples — k boolean coverage answers in one
+    Yannakakis semi-join program per shard, instead of k independent
+    subsumption searches.
+
+    The pattern hypergraph (one hyperedge of variables per pattern)
+    must be GYO-acyclic; prepending the example-id column to every
+    edge preserves acyclicity, so the program stays exact. Disconnected
+    components are evaluated independently and joined by intersecting
+    their root example-id sets. [fanout] runs the per-shard tasks
+    (default: sequential; the ILP layer passes its [Parallel] pool).
+
+    @raise Cyclic_pattern when the hypergraph is cyclic — the caller
+    falls back to per-example evaluation. *)
+let semijoin_batch ?(fanout = fun n f -> Array.init n f) store
+    ~(patterns : pattern list) ~(eids : int array) =
+  Obs.Span.with_span span_batch @@ fun () ->
+  Obs.Counter.incr c_batches;
+  Obs.Counter.add c_batch_examples (Array.length eids);
+  match patterns with
+  | [] -> Array.make (Array.length eids) true
+  | _ ->
+      let order =
+        match Hypergraph.join_forest (List.map pattern_vars patterns) with
+        | Some o -> o
+        | None -> raise Cyclic_pattern
+      in
+      let pats = Array.of_list patterns in
+      let n = Store.n_shards store in
+      let by_shard = Array.make n [] in
+      Array.iteri
+        (fun k eid ->
+          let s = Store.shard_of_value store (Value.int eid) in
+          by_shard.(s) <- (k, eid) :: by_shard.(s))
+        eids;
+      let by_shard = Array.map List.rev by_shard in
+      let results =
+        fanout n (fun s ->
+            run_shard store pats order s (List.map snd by_shard.(s)))
+      in
+      let out = Array.make (Array.length eids) false in
+      Array.iteri
+        (fun s bools ->
+          List.iteri (fun j (k, _) -> out.(k) <- bools.(j)) by_shard.(s))
+        results;
+      out
+
 (** [reorder tbl attrs] permutes the columns of [tbl] to follow
     [attrs] (which must be a permutation of a subset of its columns,
     duplicates removed). *)

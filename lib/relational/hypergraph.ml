@@ -57,3 +57,56 @@ let is_acyclic (sorts : string list list) =
     end
   done;
   List.length !edges <= 1
+
+(** [join_forest sorts] is the ear-removal form of the same GYO
+    reduction, keeping the parent links: it returns [Some order] where
+    [order] pairs each hyperedge index with the index of the edge it
+    was removed against ([None] for the root of its connected
+    component), listed in removal order. An edge is an {e ear} when
+    the attributes it shares with the other remaining edges are all
+    contained in one single other edge — its parent. Removal order is
+    exactly the bottom-up order in which a Yannakakis semi-join
+    program must process the edges ({!Algebra.semijoin_batch});
+    children always appear before their parent. Returns [None] iff
+    the hypergraph is cyclic (agreement with {!is_acyclic} is pinned
+    by a randomized test). *)
+let join_forest (sorts : string list list) =
+  let n = List.length sorts in
+  let vars = Array.of_list (List.map SS.of_list sorts) in
+  let alive = Array.make n true in
+  let order = ref [] in
+  let removed = ref 0 in
+  let progress = ref true in
+  while !progress && !removed < n do
+    progress := false;
+    for e = 0 to n - 1 do
+      if alive.(e) then begin
+        (* attributes of [e] still shared with another live edge *)
+        let shared = ref SS.empty in
+        for f = 0 to n - 1 do
+          if f <> e && alive.(f) then
+            shared := SS.union !shared (SS.inter vars.(e) vars.(f))
+        done;
+        let parent = ref None in
+        if SS.is_empty !shared then parent := Some None (* component root *)
+        else begin
+          (try
+             for f = 0 to n - 1 do
+               if f <> e && alive.(f) && SS.subset !shared vars.(f) then begin
+                 parent := Some (Some f);
+                 raise Exit
+               end
+             done
+           with Exit -> ())
+        end;
+        match !parent with
+        | None -> ()
+        | Some p ->
+            alive.(e) <- false;
+            incr removed;
+            order := (e, p) :: !order;
+            progress := true
+      end
+    done
+  done;
+  if !removed = n then Some (List.rev !order) else None

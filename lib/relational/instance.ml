@@ -54,6 +54,66 @@ let add t rel (tuple : Tuple.t) =
 
 let add_list t rel vs = add t rel (Tuple.of_list vs)
 
+(** [remove t rel tuple] deletes a tuple, delta-maintaining {e every}
+    secondary index bucket: the [(rel, column, value)] entry of each
+    column is pruned (and dropped when it empties), never rebuilt.
+    Returns [true] when the tuple was present. The add/remove
+    interleaving invariant — indexes equal to a from-scratch rebuild —
+    is checked by {!index_consistent} and a QCheck property.
+    @raise Arity_mismatch if the tuple does not fit the sort. *)
+let remove t rel (tuple : Tuple.t) =
+  if Tuple.arity tuple <> Schema.arity t.schema rel then
+    raise (Arity_mismatch rel);
+  let b = bucket t rel in
+  if not (List.exists (Tuple.equal tuple) !b) then false
+  else begin
+    b := List.filter (fun tu -> not (Tuple.equal tu tuple)) !b;
+    Array.iteri
+      (fun i v ->
+        let key = (rel, i, v) in
+        match Hashtbl.find_opt t.index key with
+        | Some l -> (
+            l := List.filter (fun tu -> not (Tuple.equal tu tuple)) !l;
+            match !l with [] -> Hashtbl.remove t.index key | _ -> ())
+        | None -> ())
+      tuple;
+    true
+  end
+
+(* Aliases matching the delta-maintenance vocabulary of {!Store}. *)
+let add_tuple = add
+
+let remove_tuple = remove
+
+(** [index_consistent t] compares the delta-maintained secondary index
+    against a from-scratch rebuild: every [(relation, column, value)]
+    bucket must hold exactly the tuples of the primary store carrying
+    that value in that column, with no stale buckets left behind. *)
+let index_consistent t =
+  let expected = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun rel b ->
+      List.iter
+        (fun tu ->
+          Array.iteri
+            (fun i v ->
+              let key = (rel, i, v) in
+              let l = Option.value ~default:[] (Hashtbl.find_opt expected key) in
+              Hashtbl.replace expected key (tu :: l))
+            tu)
+        !b)
+    t.store;
+  let norm l = List.sort Tuple.compare l in
+  Hashtbl.length expected = Hashtbl.length t.index
+  && Hashtbl.fold
+       (fun key l acc ->
+         acc
+         &&
+         match Hashtbl.find_opt t.index key with
+         | Some actual -> List.equal Tuple.equal (norm !actual) (norm l)
+         | None -> false)
+       expected true
+
 (** [tuples t rel] returns all tuples of [rel]. *)
 let tuples t rel = !(bucket t rel)
 

@@ -123,16 +123,23 @@ let parse_ind_decl c =
   expect c Dot;
   { Schema.sub_rel; sub_attrs; sup_rel; sup_attrs; equality }
 
-(** [parse_schema text] reads [relation], [fd] and [ind] declarations.
+(** [parse_schema_spanned text] reads [relation], [fd] and [ind]
+    declarations and additionally returns, for each relation, the
+    source position of its declaration — import-time lints attach
+    these to their diagnostics.
     @raise Lexer.Error on malformed input. *)
-let parse_schema text =
+let parse_schema_spanned text =
   let c = cursor (tokenize text) in
   let schema = ref Schema.empty in
+  let spans = ref [] in
   let rec go () =
     match next c with
-    | Eof -> !schema
+    | Eof -> (!schema, List.rev !spans)
     | Ident "relation" ->
-        schema := Schema.add_relation !schema (parse_relation_decl c);
+        let pos = peek_pos c in
+        let r = parse_relation_decl c in
+        spans := (r.Schema.rname, pos) :: !spans;
+        schema := Schema.add_relation !schema r;
         go ()
     | Ident "fd" ->
         schema := Schema.add_fd !schema (parse_fd_decl c);
@@ -143,6 +150,10 @@ let parse_schema text =
     | t -> err c "expected 'relation', 'fd' or 'ind', found %a" pp_token t
   in
   go ()
+
+(** [parse_schema text] reads [relation], [fd] and [ind] declarations.
+    @raise Lexer.Error on malformed input. *)
+let parse_schema text = fst (parse_schema_spanned text)
 
 let parse_value_token c =
   match next c with

@@ -30,6 +30,17 @@ drop of more than HIT_RATE_DROP percentage points against the baseline
 fails, so a cache-key change that silently stops matching α-equivalent
 clauses is caught even while the raw counters stay within tolerance.
 
+The baseline is either a single-experiment dump (the historical
+format) or a multi-experiment file
+
+    {"experiments": {"<id>": {"counters": {...}, "spans": [...]}, ...}}
+
+in which case the entry matching the current dump's experiment id is
+used. Regenerate the multi-experiment baseline from fresh dumps with
+
+    python3 scripts/check_bench.py --merge-into BENCH_baseline.json \
+        BENCH_ablation.json BENCH_coverage_batch.json
+
 Only the Python standard library is used.
 """
 
@@ -61,20 +72,76 @@ def hit_rate(counters):
     return 100.0 * counters[HITS] / lookups
 
 
+def unpack(metrics):
+    counters = metrics.get("counters", {})
+    spans = {s["name"]: s for s in metrics.get("spans", [])}
+    return counters, spans
+
+
 def load(path):
     with open(path) as fh:
         doc = json.load(fh)
-    metrics = doc.get("metrics", doc)
-    counters = metrics.get("counters", {})
-    spans = {s["name"]: s for s in metrics.get("spans", [])}
+    counters, spans = unpack(doc.get("metrics", doc))
     return doc.get("experiment", "?"), counters, spans
+
+
+def load_baseline(path, experiment):
+    """Baseline metrics for `experiment`: a multi-experiment file keyed
+    by id, or the historical single-experiment dump applied as-is."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "experiments" in doc:
+        entry = doc["experiments"].get(experiment)
+        if entry is None:
+            sys.exit(
+                f"check_bench: baseline {path} has no entry for "
+                f"experiment {experiment!r} "
+                f"(has: {', '.join(sorted(doc['experiments']))})"
+            )
+        return unpack(entry)
+    return unpack(doc.get("metrics", doc))
+
+
+def merge_into(out_path, dump_paths):
+    """Rebuild the multi-experiment baseline from fresh dumps, keeping
+    any existing entries the dumps do not replace."""
+    experiments = {}
+    try:
+        with open(out_path) as fh:
+            doc = json.load(fh)
+        if "experiments" in doc:
+            experiments = doc["experiments"]
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
+    for path in dump_paths:
+        exp, counters, spans = load(path)
+        experiments[exp] = {
+            "counters": counters,
+            "spans": sorted(spans.values(), key=lambda s: s["name"]),
+        }
+    with open(out_path, "w") as fh:
+        json.dump({"experiments": experiments}, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"check_bench: wrote {out_path} "
+        f"({len(experiments)} experiment(s): {', '.join(sorted(experiments))})"
+    )
+    return 0
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("current", help="BENCH_<id>.json produced by this run")
+    ap.add_argument(
+        "current", nargs="+", help="BENCH_<id>.json produced by this run"
+    )
     ap.add_argument(
         "--baseline", default="BENCH_baseline.json", help="checked-in reference dump"
+    )
+    ap.add_argument(
+        "--merge-into",
+        metavar="BASELINE",
+        help="instead of checking, merge the given dumps into BASELINE "
+        "as a multi-experiment baseline",
     )
     ap.add_argument(
         "--require-nonzero",
@@ -92,8 +159,18 @@ def main():
     )
     args = ap.parse_args()
 
-    _, base_counters, base_spans = load(args.baseline)
-    exp, cur_counters, cur_spans = load(args.current)
+    if args.merge_into:
+        return merge_into(args.merge_into, args.current)
+
+    status = 0
+    for path in args.current:
+        status = max(status, check_one(path, args))
+    return status
+
+
+def check_one(path, args):
+    exp, cur_counters, cur_spans = load(path)
+    base_counters, base_spans = load_baseline(args.baseline, exp)
 
     problems = []
 

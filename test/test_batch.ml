@@ -1,0 +1,208 @@
+(* Differential battery for the batched semi-join coverage kernel:
+   whatever the shard count, Coverage.vector with the kernel enabled
+   must agree bit-for-bit with the per-example Subsume path, on both a
+   real dataset (family) and seeded random problems. Also checks the
+   GYO join-forest builder against the existing acyclicity test. *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+open Helpers
+module Obs = Castor_obs.Obs
+
+let family = Castor_datasets.Family.generate ()
+
+let family_inst = family.Castor_datasets.Dataset.instance
+
+let family_ex = family.Castor_datasets.Dataset.examples
+
+(* body prefixes of each example's variabilized bottom clause — the
+   shapes ARMG actually walks through *)
+let candidates inst params (examples : Atom.t array) n =
+  let take k l =
+    let rec go k = function
+      | x :: tl when k > 0 -> x :: go (k - 1) tl
+      | _ -> []
+    in
+    go k l
+  in
+  List.concat_map
+    (fun i ->
+      let bc = Bottom.bottom_clause ~params inst examples.(i) in
+      List.map
+        (fun k -> Clause.make bc.Clause.head (take k bc.Clause.body))
+        [ 0; 1; 2; 3; 5; 8; List.length bc.Clause.body ])
+    (List.init (min n (Array.length examples)) Fun.id)
+
+(* the kernel answer vs the Subsume answer for one clause, cache off *)
+let both cov clause =
+  Coverage.set_cache cov false;
+  Coverage.set_batch cov true;
+  let vb = Coverage.vector cov clause in
+  Coverage.set_batch cov false;
+  let vs = Coverage.vector cov clause in
+  Coverage.set_batch cov true;
+  (Array.to_list vb, Array.to_list vs)
+
+let differential_on cov clauses =
+  List.iteri
+    (fun i clause ->
+      let vb, vs = both cov clause in
+      check
+        Alcotest.(list bool)
+        (Fmt.str "clause %d: %s" i (Clause.to_string clause))
+        vs vb)
+    clauses
+
+let family_suite =
+  [
+    tc "family: batched coverage == Subsume coverage (pos and neg)" (fun () ->
+        let params = Bottom.default_params in
+        let pos = Coverage.build ~params family_inst family_ex.Examples.pos in
+        let neg = Coverage.build ~params family_inst family_ex.Examples.neg in
+        let cands = candidates family_inst params family_ex.Examples.pos 3 in
+        let before = Obs.Counter.value Algebra.c_batches in
+        differential_on pos cands;
+        differential_on neg cands;
+        check Alcotest.bool "kernel actually ran" true
+          (Obs.Counter.value Algebra.c_batches > before));
+    tc "family: shard count is invisible in coverage vectors" (fun () ->
+        let params = Bottom.default_params in
+        let cands = candidates family_inst params family_ex.Examples.pos 2 in
+        let vectors shards =
+          let cov =
+            Coverage.build ~params ~shards family_inst family_ex.Examples.pos
+          in
+          Coverage.set_cache cov false;
+          List.map (fun c -> Array.to_list (Coverage.vector cov c)) cands
+        in
+        let v1 = vectors 1 in
+        check Alcotest.(list (list bool)) "2 shards" v1 (vectors 2);
+        check Alcotest.(list (list bool)) "4 shards" v1 (vectors 4);
+        check Alcotest.(list (list bool)) "7 shards" v1 (vectors 7));
+  ]
+
+(* ---------------- seeded random problems -------------------------- *)
+
+let at = Schema.attribute
+
+let pq_schema =
+  Schema.make
+    [
+      Schema.relation "p" [ at ~domain:"d" "x"; at ~domain:"d" "y" ];
+      Schema.relation "q" [ at ~domain:"d" "x"; at ~domain:"d" "y" ];
+    ]
+
+(* a random world over 8 constants plus target examples t(c) for every
+   constant, so positives and negatives both occur *)
+let random_problem seed =
+  let rng = Random.State.make [| seed |] in
+  let inst = Instance.create pq_schema in
+  let const i = Value.str (Printf.sprintf "c%d" i) in
+  let n_tuples = 10 + Random.State.int rng 20 in
+  for _ = 1 to n_tuples do
+    let rel = if Random.State.bool rng then "p" else "q" in
+    Instance.add inst rel
+      (Tuple.of_list [ const (Random.State.int rng 8); const (Random.State.int rng 8) ])
+  done;
+  let examples =
+    Array.init 8 (fun i -> Atom.of_tuple "t" (Tuple.of_list [ const i ]))
+  in
+  (inst, examples)
+
+let random_suite =
+  [
+    qt ~count:25 "random problems: batched == Subsume across 1/2/4 shards"
+      QCheck2.Gen.(int_bound 10_000)
+      (fun seed ->
+        let inst, examples = random_problem seed in
+        let params = Bottom.default_params in
+        let cands = candidates inst params examples 4 in
+        List.for_all
+          (fun shards ->
+            let cov = Coverage.build ~params ~shards inst examples in
+            List.for_all
+              (fun clause ->
+                let vb, vs = both cov clause in
+                vb = vs)
+              cands)
+          [ 1; 2; 4 ]);
+    qt ~count:25 "random problems: shard count invariance of the kernel"
+      QCheck2.Gen.(int_bound 10_000)
+      (fun seed ->
+        let inst, examples = random_problem seed in
+        let params = Bottom.default_params in
+        let cands = candidates inst params examples 3 in
+        let vectors shards =
+          let cov = Coverage.build ~params ~shards inst examples in
+          Coverage.set_cache cov false;
+          List.map (fun c -> Array.to_list (Coverage.vector cov c)) cands
+        in
+        let v1 = vectors 1 in
+        List.for_all (fun s -> vectors s = v1) [ 2; 3; 4; 5 ]);
+  ]
+
+(* ---------------- join forest ------------------------------------- *)
+
+let hyper_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 6)
+      (list_size (int_range 0 4) (map (fun i -> Printf.sprintf "x%d" i) (int_bound 5))))
+
+let forest_suite =
+  [
+    qt ~count:500 "join_forest succeeds exactly on GYO-acyclic hypergraphs"
+      hyper_gen
+      (fun h -> Hypergraph.join_forest h <> None = Hypergraph.is_acyclic h);
+    qt ~count:500 "join_forest is a permutation with children before parents"
+      hyper_gen
+      (fun h ->
+        match Hypergraph.join_forest h with
+        | None -> true
+        | Some order ->
+            let n = List.length h in
+            let edges = List.map fst order in
+            let idx x =
+              let rec go i = function
+                | [] -> -1
+                | y :: tl -> if y = x then i else go (i + 1) tl
+              in
+              go 0 edges
+            in
+            List.sort compare edges = List.init n Fun.id
+            && List.for_all
+                 (fun (e, parent) ->
+                   match parent with
+                   | None -> true
+                   | Some f ->
+                       (* the parent must still be alive when e is
+                          removed: f appears after e in removal order *)
+                       f <> e && idx e < idx f)
+                 order);
+  ]
+
+let kernel_fallback_suite =
+  [
+    tc "cyclic clause falls back to Subsume and still agrees" (fun () ->
+        let params = Bottom.default_params in
+        let inst, examples = random_problem 7 in
+        let cov = Coverage.build ~params inst examples in
+        (* p(A,B), p(B,C), p(C,A) is the classic GYO-cyclic triangle *)
+        let va x = Term.Var x in
+        let clause =
+          Clause.make
+            (Atom.make "t" [ va "A" ])
+            [
+              Atom.make "p" [ va "A"; va "B" ];
+              Atom.make "p" [ va "B"; va "C" ];
+              Atom.make "p" [ va "C"; va "A" ];
+            ]
+        in
+        let before = Obs.Counter.value Coverage.c_batch_fallbacks in
+        let vb, vs = both cov clause in
+        check Alcotest.(list bool) "agree" vs vb;
+        check Alcotest.bool "fallback counted" true
+          (Obs.Counter.value Coverage.c_batch_fallbacks > before));
+  ]
+
+let suite = family_suite @ random_suite @ forest_suite @ kernel_fallback_suite

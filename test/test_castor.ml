@@ -4,6 +4,7 @@ let () =
   Alcotest.run "castor"
     [
       ("relational", Test_relational.suite);
+      ("store", Test_store.suite);
       ("transform", Test_transform.suite);
       ("logic", Test_logic.suite);
       ("analysis", Test_analysis.suite);
@@ -12,6 +13,7 @@ let () =
       ("discovery", Test_discovery.suite);
       ("datalog", Test_datalog.suite);
       ("ilp", Test_ilp.suite);
+      ("batch", Test_batch.suite);
       ("learners", Test_learners.suite);
       ("core", Test_core.suite);
       ("qlearn", Test_qlearn.suite);

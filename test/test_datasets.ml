@@ -150,6 +150,87 @@ let derive_suite =
         check Alcotest.int "one base variant" 1 (List.length wrapped.Dataset.variants));
   ]
 
+(* ---------------- import-time lint -------------------------------- *)
+
+module Analyze = Castor_analysis.Analyze
+module Diagnostic = Castor_analysis.Diagnostic
+
+let temp_dataset_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "castor_import_%d_%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Sys.mkdir dir 0o755;
+  dir
+
+let append_file path lines =
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let import_lint_suite =
+  [
+    tc "Analyze.import_examples flags shape, duplicate and label faults"
+      (fun () ->
+        let target =
+          Schema.relation "t"
+            [ Schema.attribute ~domain:"d" "a"; Schema.attribute ~domain:"d" "b" ]
+        in
+        let schema = Schema.make [ Schema.relation "t" [ Schema.attribute ~domain:"d" "a" ] ] in
+        let atom rel vs = Atom.of_tuple rel (Tuple.of_list (List.map Value.str vs)) in
+        let span = Some { Diagnostic.line = 3; col = 1 } in
+        let diags =
+          Analyze.import_examples ~schema ~target
+            [
+              (true, atom "t" [ "x"; "y" ], span);
+              (true, atom "t" [ "x"; "y" ], span) (* duplicate *);
+              (false, atom "t" [ "x"; "y" ], span) (* conflicting *);
+              (true, atom "u" [ "x"; "y" ], span) (* wrong relation *);
+              (true, atom "t" [ "x" ], span) (* wrong arity *);
+            ]
+        in
+        let rules = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.rule) diags in
+        List.iter
+          (fun r -> check Alcotest.bool r true (List.mem r rules))
+          [
+            "import/target-shadows-relation"; "import/duplicate-example";
+            "import/conflicting-label"; "import/example-relation";
+            "import/example-arity";
+          ];
+        check Alcotest.bool "spans kept" true
+          (List.for_all (fun (d : Diagnostic.t) -> d.Diagnostic.span <> None)
+             (List.filter
+                (fun (d : Diagnostic.t) ->
+                  not (String.equal d.Diagnostic.rule "import/target-shadows-relation"))
+                diags)));
+    tc "clean export/import round trip passes the `Strict gate" (fun () ->
+        let dir = temp_dataset_dir () in
+        Dataset.export (Lazy.force (List.assoc "family" datasets)) dir;
+        let ds = Dataset.import ~name:"family" ~gate:`Strict dir in
+        check Alcotest.bool "examples kept" true
+          (Array.length ds.Dataset.examples.Examples.pos > 0));
+    tc "corrupted examples are rejected by `Strict but pass `Off" (fun () ->
+        let dir = temp_dataset_dir () in
+        Dataset.export (Lazy.force (List.assoc "family" datasets)) dir;
+        append_file
+          (Filename.concat dir "examples.castor")
+          [ "pos grandparent(p1)."; "neg nosuchrel(p1, p2)." ];
+        (match Dataset.import ~name:"family" ~gate:`Strict dir with
+        | exception Diagnostic.Rejected errs ->
+            let rules = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.rule) errs in
+            check Alcotest.bool "arity error" true
+              (List.mem "import/example-arity" rules);
+            check Alcotest.bool "relation error" true
+              (List.mem "import/example-relation" rules);
+            check Alcotest.bool "spans attached" true
+              (List.for_all (fun (d : Diagnostic.t) -> d.Diagnostic.span <> None) errs)
+        | _ -> Alcotest.fail "expected Diagnostic.Rejected");
+        let ds = Dataset.import ~name:"family" ~gate:`Off dir in
+        check Alcotest.bool "`Off imports anyway" true
+          (Array.length ds.Dataset.examples.Examples.pos > 0));
+  ]
+
 let suite =
   List.concat_map (fun (n, d) -> per_dataset n d) datasets
-  @ golden_suite @ derive_suite
+  @ golden_suite @ derive_suite @ import_lint_suite

@@ -160,4 +160,70 @@ let progolem_suite =
         | None -> Alcotest.fail "expected a clause");
   ]
 
-let suite = problem_suite @ foil_suite @ progol_suite @ golem_suite @ progolem_suite
+(* ---------------- unified Learner API ----------------------------- *)
+
+let registry_suite =
+  [
+    tc "all five learners are registered (eight names)" (fun () ->
+        List.iter
+          (fun n ->
+            let module L = (val Learner.find n) in
+            check Alcotest.string (n ^ " resolves to itself") n L.name)
+          [
+            "foil"; "aleph-foil"; "aleph-progol"; "golem"; "progolem";
+            "castor"; "castor-safe"; "castor-subset";
+          ]);
+    tc "find is case-insensitive, Unknown_learner otherwise" (fun () ->
+        let module L = (val Learner.find "FOIL") in
+        check Alcotest.string "case folded" "foil" L.name;
+        check Alcotest.bool "unknown is None" true
+          (Learner.find_opt "no-such-learner" = None);
+        match Learner.find "no-such-learner" with
+        | exception Learner.Unknown_learner "no-such-learner" -> ()
+        | _ -> Alcotest.fail "expected Unknown_learner");
+    tc "names lists every registration" (fun () ->
+        let ns = Learner.names () in
+        check Alcotest.bool "sorted" true (List.sort compare ns = ns);
+        List.iter
+          (fun n -> check Alcotest.bool n true (List.mem n ns))
+          [ "foil"; "golem"; "progolem"; "castor" ]);
+    tc "unified FOIL run equals the direct entry point" (fun () ->
+        let p = problem () in
+        let r = Learner.learn ~name:"foil" p in
+        let direct = Foil.learn ~params:(Foil.params_of_config Learner.default_config) p in
+        check Alcotest.string "same learner" "foil" r.Learner.Report.learner;
+        check Alcotest.bool "nonnegative time" true (r.Learner.Report.seconds >= 0.);
+        check
+          Alcotest.(list string)
+          "same definition"
+          (List.map Clause.to_string direct.Clause.clauses)
+          (List.map Clause.to_string r.Learner.Report.definition.Clause.clauses));
+    tc "config flows through the shared record" (fun () ->
+        let p = problem () in
+        let r =
+          Learner.learn ~name:"foil"
+            ~config:{ Learner.default_config with Learner.max_clauses = 1 }
+            p
+        in
+        check Alcotest.bool "at most one clause" true
+          (List.length r.Learner.Report.definition.Clause.clauses <= 1));
+    tc "learn ?gate re-runs the analysis gate" (fun () ->
+        let p = problem () in
+        (* the family problem is clean, so even `Strict passes *)
+        let r = Learner.learn ~name:"golem" ~gate:`Strict p in
+        check Alcotest.bool "learned" true
+          (r.Learner.Report.definition.Clause.clauses <> []));
+    tc "deprecated aliases still compile and agree" (fun () ->
+        let p = problem () in
+        let def = (Foil.learn_with_params [@alert "-deprecated"]) p in
+        let def' = Foil.learn p in
+        check
+          Alcotest.(list string)
+          "alias == original"
+          (List.map Clause.to_string def'.Clause.clauses)
+          (List.map Clause.to_string def.Clause.clauses));
+  ]
+
+let suite =
+  problem_suite @ foil_suite @ progol_suite @ golem_suite @ progolem_suite
+  @ registry_suite

@@ -1,0 +1,147 @@
+(* Sharded store and delta-maintained secondary indexes: random
+   add/remove interleavings must leave both the flat Instance index and
+   the sharded Store indexes identical to a from-scratch rebuild, and
+   every access path must agree with a naive scan. *)
+
+open Castor_relational
+open Helpers
+
+let v i = Value.str (Printf.sprintf "v%d" i)
+
+(* a deliberately small value space so adds collide and removes hit *)
+let tuple3_gen =
+  QCheck2.Gen.(
+    map
+      (fun (a, b, c) -> Tuple.of_list [ v a; v b; v c ])
+      (triple (int_bound 5) (int_bound 5) (int_bound 5)))
+
+let ops_gen = QCheck2.Gen.(list_size (int_range 0 80) (pair bool tuple3_gen))
+
+let replay_model ops =
+  List.fold_left
+    (fun s (add, tu) ->
+      if add then Tuple.Set.add tu s else Tuple.Set.remove tu s)
+    Tuple.Set.empty ops
+
+let sorted l = List.sort Tuple.compare l
+
+let print_ops ops =
+  String.concat "; "
+    (List.map
+       (fun (add, tu) ->
+         (if add then "+" else "-") ^ Fmt.str "%a" Tuple.pp tu)
+       ops)
+
+let instance_suite =
+  [
+    tc "Instance.remove prunes every column's index bucket" (fun () ->
+        let inst = Instance.create abc_schema in
+        let t1 = Tuple.of_list [ v 0; v 1; v 2 ] in
+        let t2 = Tuple.of_list [ v 0; v 3; v 2 ] in
+        Instance.add_tuple inst "r" t1;
+        Instance.add_tuple inst "r" t2;
+        check Alcotest.bool "removed" true (Instance.remove_tuple inst "r" t1);
+        (* all three columns of t1 must be gone from the index; t2 stays *)
+        check Alcotest.int "col0 keeps t2" 1
+          (List.length (Instance.find inst "r" 0 (v 0)));
+        check Alcotest.int "col1 bucket dropped" 0
+          (List.length (Instance.find inst "r" 1 (v 1)));
+        check Alcotest.int "col2 keeps t2" 1
+          (List.length (Instance.find inst "r" 2 (v 2)));
+        check Alcotest.bool "index consistent" true (Instance.index_consistent inst));
+    tc "Instance.remove of an absent tuple is a no-op" (fun () ->
+        let inst = Instance.create abc_schema in
+        let t1 = Tuple.of_list [ v 0; v 1; v 2 ] in
+        check Alcotest.bool "absent" false (Instance.remove_tuple inst "r" t1);
+        check Alcotest.bool "consistent" true (Instance.index_consistent inst));
+    qt ~count:200 "random add/remove interleaving == from-scratch rebuild"
+      ops_gen
+      (fun ops ->
+        let inst = Instance.create abc_schema in
+        List.iter
+          (fun (add, tu) ->
+            if add then Instance.add_tuple inst "r" tu
+            else ignore (Instance.remove_tuple inst "r" tu))
+          ops;
+        let model = Tuple.Set.elements (replay_model ops) in
+        Instance.index_consistent inst
+        && List.equal Tuple.equal (sorted (Instance.tuples inst "r")) (sorted model));
+  ]
+
+let shards_gen = QCheck2.Gen.int_range 1 5
+
+let store_suite =
+  [
+    qt ~count:200 "Store interleaving: indexes == rebuild, every path agrees"
+      QCheck2.Gen.(pair shards_gen ops_gen)
+      (fun (shards, ops) ->
+        let st = Store.create ~shards [ ("r", 3) ] in
+        List.iter
+          (fun (add, tu) ->
+            if add then ignore (Store.add_tuple st "r" tu)
+            else ignore (Store.remove_tuple st "r" tu))
+          ops;
+        let model = Tuple.Set.elements (replay_model ops) in
+        Store.index_consistent st
+        && List.equal Tuple.equal (sorted (Store.tuples st "r")) (sorted model)
+        && (* indexed find == scan filter, on key and non-key columns *)
+        List.for_all
+          (fun pos ->
+            List.for_all
+              (fun i ->
+                List.equal Tuple.equal
+                  (sorted (Store.find st "r" pos (v i)))
+                  (sorted
+                     (List.filter (fun tu -> Value.equal tu.(pos) (v i)) model)))
+              [ 0; 1; 2; 3; 4; 5 ])
+          [ 0; 1; 2 ]
+        && List.for_all
+             (fun i ->
+               List.equal Tuple.equal
+                 (sorted (Store.tuples_containing st "r" (v i)))
+                 (sorted
+                    (List.filter
+                       (fun tu -> Array.exists (fun x -> Value.equal x (v i)) tu)
+                       model)))
+             [ 0; 1; 2; 3; 4; 5 ]);
+    qt ~count:100 "shard count never changes Store.of_instance contents"
+      QCheck2.Gen.(pair abc_instance_gen shards_gen)
+      (fun (inst, shards) ->
+        let st1 = Store.of_instance ~shards:1 inst in
+        let stn = Store.of_instance ~shards inst in
+        List.equal Tuple.equal
+          (sorted (Store.tuples st1 "r"))
+          (sorted (Store.tuples stn "r"))
+        && Store.index_consistent stn
+        && List.for_all
+             (fun i ->
+               List.equal Tuple.equal
+                 (sorted (Store.find st1 "r" 0 (v i)))
+                 (sorted (Store.find stn "r" 0 (v i))))
+             [ 0; 1; 2; 3; 4 ]);
+    tc "rows live on the shard their key hashes to" (fun () ->
+        let st = Store.create ~shards:4 [ ("r", 3) ] in
+        for i = 0 to 19 do
+          ignore (Store.add st "r" (Tuple.of_list [ v i; v (i mod 3); v 0 ]))
+        done;
+        for s = 0 to Store.n_shards st - 1 do
+          List.iter
+            (fun (tu : Tuple.t) ->
+              check Alcotest.int
+                (Fmt.str "shard of %a" Tuple.pp tu)
+                s
+                (Store.shard_of_value st tu.(0)))
+            (Store.shard_tuples st s "r")
+        done);
+    tc "Store.add is set-semantics and Store.remove returns presence" (fun () ->
+        let st = Store.create ~shards:2 [ ("r", 3) ] in
+        let tu = Tuple.of_list [ v 0; v 1; v 2 ] in
+        check Alcotest.bool "first add" true (Store.add st "r" tu);
+        check Alcotest.bool "dup add" false (Store.add st "r" tu);
+        check Alcotest.int "one row" 1 (Store.cardinality st "r");
+        check Alcotest.bool "remove" true (Store.remove st "r" tu);
+        check Alcotest.bool "re-remove" false (Store.remove st "r" tu);
+        check Alcotest.bool "consistent" true (Store.index_consistent st));
+  ]
+
+let suite = instance_suite @ store_suite
