@@ -5,7 +5,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe table9     -- one experiment
      (ids: table9 table10 table11 table12 table13 fig2 fig3 ex11
-           ablation coverage_batch sensitivity micro)
+           ablation coverage_batch planner sensitivity micro)
 
    Scale note: the datasets are synthetic, laptop-sized equivalents of
    the paper's (DESIGN.md, "Substitutions"); absolute numbers differ
@@ -408,6 +408,87 @@ let coverage_batch () =
     (Obs.Counter.value Castor_ilp.Coverage.c_batch_fallbacks)
 
 (* ------------------------------------------------------------------ *)
+(* Cost-based coverage planner                                         *)
+(* ------------------------------------------------------------------ *)
+
+let planner () =
+  section
+    "Planner -- cost-based coverage strategy selection across storage backends";
+  let ds = Uwcse.generate () in
+  let prep = Experiment.prepare ds "original" in
+  let pos = prep.Experiment.all_pos and neg = prep.Experiment.all_neg in
+  Castor_ilp.Coverage.set_cache pos false;
+  Castor_ilp.Coverage.set_cache neg false;
+  let take k l =
+    let rec go k = function
+      | x :: tl when k > 0 -> x :: go (k - 1) tl
+      | _ -> []
+    in
+    go k l
+  in
+  let clauses =
+    List.concat_map
+      (fun i ->
+        let bc, _ = Clause.variabilize pos.Castor_ilp.Coverage.bottoms.(i) in
+        List.map
+          (fun k -> Clause.make bc.Clause.head (take k bc.Clause.body))
+          [ 1; 2; 3; 4; 6 ])
+      (List.init (min 12 (Castor_ilp.Coverage.length pos)) Fun.id)
+  in
+  let run_all () =
+    List.map
+      (fun c ->
+        ( Castor_ilp.Coverage.vector pos c,
+          Castor_ilp.Coverage.vector neg c ))
+      clauses
+  in
+  let timed_vectors () =
+    let t0 = Unix.gettimeofday () in
+    let vs = run_all () in
+    (vs, Unix.gettimeofday () -. t0)
+  in
+  (* reference vectors: planner disabled, pure per-example subsumption *)
+  Castor_ilp.Coverage.set_batch pos false;
+  Castor_ilp.Coverage.set_batch neg false;
+  let _ = timed_vectors () (* warmup *) in
+  let reference, t_subs = timed_vectors () in
+  Castor_ilp.Coverage.set_batch pos true;
+  Castor_ilp.Coverage.set_batch neg true;
+  let specs =
+    [
+      Backend.Flat;
+      Backend.Sharded 1;
+      Backend.Sharded 2;
+      Backend.Sharded 4;
+      Backend.Sharded 7;
+    ]
+  in
+  Fmt.pr "%d candidate clauses, planner on, per backend (UW-CSE original):@."
+    (List.length clauses);
+  let t_last = ref t_subs in
+  List.iter
+    (fun spec ->
+      Castor_ilp.Coverage.set_backend pos spec;
+      Castor_ilp.Coverage.set_backend neg spec;
+      let vs, t = timed_vectors () in
+      if vs <> reference then
+        failwith
+          ("planner: coverage vectors diverge from subsumption on backend "
+          ^ Backend.spec_to_string spec);
+      if spec = Castor_ilp.Coverage.backend_spec pos then t_last := t;
+      Fmt.pr "  backend %-10s %8.3f s  (matches subsumption bit-for-bit)@."
+        (Backend.spec_to_string spec) t)
+    specs;
+  Fmt.pr "  pure subsumption     %8.3f s@." t_subs;
+  Fmt.pr
+    "planner decisions %d: semi-join %d, subsumption %d (est cost %d, actual %d)@."
+    (Obs.Counter.value Castor_ilp.Planner.c_decisions)
+    (Obs.Counter.value Castor_ilp.Planner.c_choice_semijoin)
+    (Obs.Counter.value Castor_ilp.Planner.c_choice_subsumption)
+    (Obs.Counter.value Castor_ilp.Planner.c_est_cost)
+    (Obs.Counter.value Castor_ilp.Planner.c_actual_cost)
+
+(* ------------------------------------------------------------------ *)
 (* Parameter sensitivity (Sec 9.1.2 discusses these knobs)             *)
 (* ------------------------------------------------------------------ *)
 
@@ -530,6 +611,7 @@ let all =
     ("ex11", ex11);
     ("ablation", ablation);
     ("coverage_batch", coverage_batch);
+    ("planner", planner);
     ("sensitivity", sensitivity);
     ("micro", micro);
   ]

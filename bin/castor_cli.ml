@@ -23,13 +23,17 @@ let dataset_of_name = function
 module Learner = Castor_learners.Learner
 
 (* every subcommand resolves learners through the one registry path *)
-let algo_of_name ?gate ?domains name =
-  try Algos.of_name ?gate ?domains name
+let algo_of_name ?gate ?domains ?backend name =
+  try Algos.of_name ?gate ?domains ?backend name
   with Learner.Unknown_learner s ->
     failwith
       ("unknown algorithm " ^ s ^ " (try "
       ^ String.concat "|" (Learner.names ())
       ^ ")")
+
+let backend_of_string s =
+  try Backend.spec_of_string s
+  with Invalid_argument m -> failwith m
 
 (* ---------------------------- learn ----------------------------- *)
 
@@ -51,11 +55,22 @@ let folds_arg =
     & info [ "k"; "folds" ]
         ~doc:"Cross-validation folds; 0 trains on everything and reports training metrics.")
 
-let learn dataset variant algo folds =
+let backend_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend" ]
+        ~doc:
+          "Storage backend for coverage structures: $(b,instance) (flat, \
+           zero-copy) or $(b,store)[:$(i,SHARDS)] (hash-partitioned). Default: \
+           the library's sharded store.")
+
+let learn dataset variant algo folds backend =
+  let backend = Option.map backend_of_string backend in
   let ds = dataset_of_name dataset in
   let vname = Option.value ~default:(fst (List.hd ds.Dataset.variants)) variant in
-  let a = algo_of_name algo in
-  let prep = Experiment.prepare ds vname in
+  let a = algo_of_name ?backend algo in
+  let prep = Experiment.prepare ?backend ds vname in
   if folds > 0 then begin
     let row = Experiment.crossval ~folds prep a in
     Fmt.pr "%s on %s/%s (%d-fold CV):@." a.Experiment.algo_name dataset vname folds;
@@ -83,7 +98,9 @@ let learn dataset variant algo folds =
 let learn_cmd =
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn a target relation definition over a schema variant.")
-    Term.(const learn $ dataset_arg $ variant_arg $ algo_arg $ folds_arg)
+    Term.(
+      const learn $ dataset_arg $ variant_arg $ algo_arg $ folds_arg
+      $ backend_arg)
 
 (* --------------------------- schemas ---------------------------- *)
 
@@ -242,12 +259,13 @@ let sql_cmd =
 
 (* ----------------------------- stats ----------------------------- *)
 
-let stats dataset variant algo domains json =
+let stats dataset variant algo domains json backend =
   let module Obs = Castor_obs.Obs in
+  let backend = Option.map backend_of_string backend in
   let ds = dataset_of_name dataset in
   let vname = Option.value ~default:(fst (List.hd ds.Dataset.variants)) variant in
-  let a = algo_of_name ~domains algo in
-  let prep = Experiment.prepare ds vname in
+  let a = algo_of_name ~domains ?backend algo in
+  let prep = Experiment.prepare ?backend ds vname in
   Castor_ilp.Coverage.set_domains prep.Experiment.all_pos domains;
   Castor_ilp.Coverage.set_domains prep.Experiment.all_neg domains;
   Obs.reset ();
@@ -287,7 +305,8 @@ let stats_cmd =
       $ Arg.(
           value & opt int 1
           & info [ "domains" ] ~doc:"Parallel coverage-test domains.")
-      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text."))
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
+      $ backend_arg)
 
 (* ---------------------------- discover --------------------------- *)
 
@@ -348,8 +367,31 @@ let print_rule_catalog () =
         r.Analyze.doc)
     Analyze.rules
 
-let analyze dataset clauses_file clause_str rules json =
+let analyze dataset clauses_file clause_str sources rules json =
   if rules then print_rule_catalog ()
+  else if sources <> [] then begin
+    (* OCaml-source lints run standalone: no dataset context needed *)
+    let groups =
+      List.map (fun f -> (f, Analyze.source ~path:f (read_file f))) sources
+    in
+    let all = List.concat_map snd groups in
+    if json then print_endline (Diagnostic.to_json all)
+    else begin
+      List.iter
+        (fun (label, diags) ->
+          if diags <> [] then begin
+            Fmt.pr "== %s ==@." label;
+            print_string (Diagnostic.render diags)
+          end)
+        groups;
+      if all = [] then Fmt.pr "analyze: no diagnostics@."
+      else
+        Fmt.pr "analyze: %d diagnostic(s), %d error(s) total@."
+          (List.length all)
+          (List.length (Diagnostic.errors all))
+    end;
+    if Diagnostic.has_errors all then exit 1
+  end
   else begin
     let ds = dataset_of_name dataset in
     let groups =
@@ -417,6 +459,13 @@ let analyze_cmd =
           value
           & opt (some string) None
           & info [ "clause" ] ~doc:"Lint one inline clause string.")
+      $ Arg.(
+          value & opt_all string []
+          & info [ "source" ]
+              ~doc:
+                "Lint an OCaml source $(docv) for direct Instance/Store \
+                 lookups that bypass the Backend seam (repeatable)."
+              ~docv:"FILE")
       $ Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalog and exit.")
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text."))
 

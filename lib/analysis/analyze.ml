@@ -76,6 +76,9 @@ let rules : rule list =
       doc = "a relation has no key or IND-linked attribute to enter literals through" };
     { id = "mode/saturation-budget"; severity = Warning;
       doc = "estimated saturation literal/variable counts against max_terms predict subsumption budget exhaustion" };
+    (* source lints *)
+    { id = "backend/direct-instance-access"; severity = Error;
+      doc = "OCaml source performs Instance/Store lookups directly instead of reading through the Backend seam" };
     (* import lints *)
     { id = "import/example-relation"; severity = Error;
       doc = "an imported example's relation differs from the declared target" };
@@ -98,6 +101,10 @@ let schema = Schema_lint.check
 let transform = Schema_lint.check_transform
 
 let clause = Clause_lint.check
+
+(** [source ?path text] — the OCaml-source lints
+    ([backend/direct-instance-access]). *)
+let source = Source_lint.check
 
 (** [definition ?schema ?target ?depth_limit d] lints every clause of
     a Horn definition. *)

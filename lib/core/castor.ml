@@ -189,6 +189,3 @@ let () =
   Learner.register (module Unified);
   Learner.register (module Unified_safe);
   Learner.register (module Unified_subset)
-
-let learn_with_params = learn
-  [@@deprecated "use Unified.learn / Learner.find \"castor\" instead"]

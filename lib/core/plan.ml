@@ -57,6 +57,9 @@ let chase_links t rel = Option.value ~default:[] (Hashtbl.find_opt t.chase rel)
     another director → ...) and drag in unrelated rows. Up to
     [join_limit] partners are fetched per link per tuple. *)
 let expand t inst rel (tuple : Tuple.t) =
+  (* the chase's join probes read through the backend seam, like every
+     other clause-evaluation path *)
+  let module B = (val Backend.of_instance inst : Backend.S) in
   let seen = Hashtbl.create 16 in
   let key r tu = r ^ Fmt.str "%a" Tuple.pp tu in
   Hashtbl.replace seen (key rel tuple) ();
@@ -99,7 +102,7 @@ let expand t inst rel (tuple : Tuple.t) =
             let bindings =
               List.map2 (fun sp dp -> (dp, tu.(sp))) cl.src_pos cl.dst_pos
             in
-            let matches = Instance.find_matching inst d bindings in
+            let matches = B.find_matching d bindings in
             let rec take n = function
               | [] -> ()
               | m :: rest ->

@@ -8,7 +8,9 @@
 
     Prefix coverage is antitone in the prefix length (adding literals
     only specializes), so the blocking atom is found by binary search
-    with O(log n) subsumption tests instead of a linear scan.
+    with O(log n) coverage tests instead of a linear scan. Each test
+    goes through {!Coverage.covers}, whose {!Planner} picks the
+    cheaper of the semi-join kernel and subsumption per prefix.
 
     The [repair] hook runs right after each blocking-atom removal;
     Castor passes the IND-enforcement step of Section 7.2.1 and plain

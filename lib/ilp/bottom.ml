@@ -91,18 +91,20 @@ let group_key (lits : Atom.t list) =
     instance) sorted by the group's constant multiset, which is pure
     data and therefore identical across information-equivalent
     schemas. *)
-let saturation ?(expand = fun _ _ -> []) ?lookup ~params inst (e : Atom.t) =
+let saturation ?(expand = fun _ _ -> []) ?backend ~params inst (e : Atom.t) =
   Obs.Span.with_span span_saturation @@ fun () ->
   Obs.Counter.incr Stats.c_saturations;
-  (* The frontier neighborhood query. The default reads the flat
-     instance index; {!Coverage.build} passes the sharded
-     {!Castor_relational.Store} instead. Hits are canonically re-sorted
-     below, so any provider returning the same tuple set is
-     equivalent. *)
+  (* The frontier neighborhood query always reads through the
+     {!Backend} seam; the default wraps [inst] itself, and
+     {!Coverage.build} passes whatever backend its spec selected.
+     Hits are canonically re-sorted below, so any backend serving the
+     same tuple set is equivalent. *)
+  let backend =
+    match backend with Some b -> b | None -> Backend.of_instance inst
+  in
   let lookup =
-    match lookup with
-    | Some f -> f
-    | None -> fun rel v -> Instance.tuples_containing inst rel v
+    let module B = (val backend : Backend.S) in
+    B.tuples_containing
   in
   let schema = Instance.schema inst in
   let rels = List.map (fun (r : Schema.relation) -> r.Schema.rname) schema.Schema.relations in
@@ -281,10 +283,11 @@ let prune_redundant (bc : Clause.t) =
   end;
   pruned
 
-(** [bottom_clause ?expand ?prune ~params inst e] is the variabilized
-    bottom clause [⊥e]. With [~prune:true] the statically redundant
-    literals are dropped before the clause is handed to ARMG. *)
-let bottom_clause ?expand ?lookup ?(prune = false) ~params inst e =
-  let sat = saturation ?expand ?lookup ~params inst e in
+(** [bottom_clause ?expand ?backend ?prune ~params inst e] is the
+    variabilized bottom clause [⊥e]. With [~prune:true] the statically
+    redundant literals are dropped before the clause is handed to
+    ARMG. *)
+let bottom_clause ?expand ?backend ?(prune = false) ~params inst e =
+  let sat = saturation ?expand ?backend ~params inst e in
   let bc = variabilize ~schema:(Instance.schema inst) ~params sat in
   if prune then prune_redundant bc else bc

@@ -6,14 +6,23 @@
     reused by every learner, exactly like the paper's per-example
     saturations.
 
+    All data access goes through the {!Castor_relational.Backend}
+    seam: [build] takes a {!Backend.spec} selecting the substrate
+    (flat instance or sharded store), saturation reads through it, and
+    the example-saturation database the batch kernel runs on is itself
+    a backend. Strategy selection per candidate clause — cached
+    vector, batched semi-join, per-example subsumption — is delegated
+    to the cost-based {!Planner}.
+
     Two optimizations from the paper are implemented here: a
-    memoization table keyed by {!Clause.canonical_key} — a structural,
-    variable-normalized key, so α-equivalent clauses produced by
-    different ARMG paths share one entry — and the generality
-    shortcut: when testing a clause known to be more general than a
-    previously tested one, the examples already covered need not be
-    re-tested. Coverage tests can also be fanned out over domains
-    ({!Parallel}). *)
+    memoization table keyed by the backend generation plus
+    {!Clause.canonical_key} — a structural, variable-normalized key,
+    so α-equivalent clauses produced by different ARMG paths share one
+    entry, and vectors memoized against since-mutated data can never
+    be served — and the generality shortcut: when testing a clause
+    known to be more general than a previously tested one, the
+    examples already covered need not be re-tested. Coverage tests can
+    also be fanned out over domains ({!Parallel}). *)
 
 open Castor_relational
 open Castor_logic
@@ -21,7 +30,9 @@ module Obs = Castor_obs.Obs
 
 type t = {
   examples : Atom.t array;
-  bottoms : Clause.t array;  (** ground bottom clause per example *)
+  mutable bottoms : Clause.t array;
+      (** ground bottom clause per example; rebuilt by {!refresh} when
+          the source instance mutates *)
   max_steps : int;
   cache : (string, bool array) Hashtbl.t;
   mutable cache_enabled : bool;
@@ -29,22 +40,35 @@ type t = {
   mutable force_parallel : bool;
       (** fan out even when the runtime reports one hardware thread —
           used by tests that must exercise real worker domains *)
-  store : Store.t option;
-      (** sharded store of the ground saturations, keyed by example id
+  inst : Instance.t;  (** the source database the examples live in *)
+  source : Backend.t;
+      (** zero-copy backend over [inst] — its generation counter is
+          how mutation of the source data is detected *)
+  mutable spec : Backend.spec;
+      (** which substrate saturation lookups and the example store are
+          built on; {!set_backend} switches it *)
+  expand : (string -> Tuple.t -> (string * Tuple.t) list) option;
+  params : Bottom.params;
+  mutable ex_store : Backend.t option;
+      (** backend holding the ground saturations, keyed by example id
           (column 0 of every relation) — the operand of the batched
           semi-join kernel; [None] when the kernel cannot apply (e.g.
           the target relation shadows a schema relation) *)
-  eids : int array;
-      (** example id in [store] of each local example; restriction via
-          {!sub} remaps indexes but shares the store *)
+  mutable eids : int array;
+      (** example id in [ex_store] of each local example; restriction
+          via {!sub} remaps indexes but shares the store *)
   mutable batch_enabled : bool;
+  mutable src_gen : int;
+      (** [source]'s generation when [bottoms]/[ex_store] were built;
+          a disagreement with the live counter marks them stale *)
 }
 
-(* Load every ground saturation into a sharded store: relation R of
-   arity a is stored with arity a + 1, column 0 carrying the example
-   id (also the partitioning key, so one example's literals are
-   shard-local). The target relation holds the head atoms. *)
-let example_store ~shards inst (examples : Atom.t array)
+(* Load every ground saturation into an example-keyed backend:
+   relation R of arity a is stored with arity a + 1, column 0 carrying
+   the example id (also the partitioning key, so one example's
+   literals are partition-local). The target relation holds the head
+   atoms. *)
+let example_store ~spec inst (examples : Atom.t array)
     (bottoms : Clause.t array) =
   if Array.length examples = 0 then None
   else begin
@@ -65,34 +89,38 @@ let example_store ~shards inst (examples : Atom.t array)
     in
     if (not uniform) || List.mem_assoc trel rels then None
     else begin
-      let store = Store.create ~shards (rels @ [ (trel, tarity + 1) ]) in
+      let backend = Backend.create spec (rels @ [ (trel, tarity + 1) ]) in
+      let module B = (val backend : Backend.S) in
       Array.iteri
         (fun i (c : Clause.t) ->
           let eid = Value.int i in
           let put (a : Atom.t) =
             if Atom.is_ground a then
               ignore
-                (Store.add store a.Atom.rel
-                   (Array.append [| eid |] (Atom.to_tuple a)))
+                (B.add a.Atom.rel (Array.append [| eid |] (Atom.to_tuple a)))
           in
           put c.Clause.head;
           List.iter put c.Clause.body)
         bottoms;
-      Some store
+      Some backend
     end
   end
 
-(** [build ?expand ~params ~max_steps ?shards inst examples]
-    precomputes the saturations of [examples]. Saturation neighborhood
-    queries and the batched coverage kernel both run against sharded
-    {!Castor_relational.Store}s partitioned across [shards]. *)
+let saturate_all ?expand ~params ~backend inst examples =
+  Array.map
+    (fun e -> Bottom.saturation ?expand ~backend ~params inst e)
+    examples
+
+(** [build ?expand ~params ~max_steps ?backend inst examples]
+    precomputes the saturations of [examples]. [backend] selects the
+    storage substrate ({!Backend.spec}; default the sharded store)
+    that both saturation neighborhood queries and the batched coverage
+    kernel run against. *)
 let build ?expand ~params ?(max_steps = 250_000)
-    ?(shards = Store.default_shards) inst (examples : Atom.t array) =
-  let inst_store = Store.of_instance ~shards inst in
-  let lookup rel v = Store.tuples_containing inst_store rel v in
-  let bottoms =
-    Array.map (fun e -> Bottom.saturation ?expand ~lookup ~params inst e) examples
-  in
+    ?(backend = Backend.default_spec) inst (examples : Atom.t array) =
+  let source = Backend.of_instance inst in
+  let data = Backend.load backend inst in
+  let bottoms = saturate_all ?expand ~params ~backend:data inst examples in
   {
     examples;
     bottoms;
@@ -101,9 +129,15 @@ let build ?expand ~params ?(max_steps = 250_000)
     cache_enabled = true;
     domains = 1;
     force_parallel = false;
-    store = example_store ~shards inst examples bottoms;
+    inst;
+    source;
+    spec = backend;
+    expand;
+    params;
+    ex_store = example_store ~spec:backend inst examples bottoms;
     eids = Array.init (Array.length examples) Fun.id;
     batch_enabled = true;
+    src_gen = Backend.generation source;
   }
 
 let length t = Array.length t.examples
@@ -126,13 +160,41 @@ let c_key_builds = Obs.Counter.create "ilp.coverage.key_builds"
 
 let c_cache_misses = Obs.Counter.create "ilp.coverage.cache_misses"
 
-let cache_key clause =
+(** How often a stale source instance forced bottoms, example store
+    and memo table to be rebuilt. *)
+let c_refreshes = Obs.Counter.create "ilp.coverage.refreshes"
+
+(* The memo key carries the source generation in front of the
+   structural clause key: a vector computed against generation g can
+   only ever answer queries at generation g. (Refresh also resets the
+   table; the prefix makes staleness impossible by construction even
+   for entries that survive a reset race.) *)
+let cache_key t clause =
   Obs.Counter.incr c_key_builds;
-  Clause.canonical_key clause
+  string_of_int t.src_gen ^ "#" ^ Clause.canonical_key clause
+
+(* Rebuild everything derived from the source instance. Saturations,
+   the example store and every memoized vector reflect the tuples at
+   some generation; when the live counter disagrees, recompute them
+   against the current data. *)
+let refresh t =
+  let gen = Backend.generation t.source in
+  if gen <> t.src_gen then begin
+    Obs.Counter.incr c_refreshes;
+    let data = Backend.load t.spec t.inst in
+    t.bottoms <-
+      saturate_all ?expand:t.expand ~params:t.params ~backend:data t.inst
+        t.examples;
+    t.ex_store <- example_store ~spec:t.spec t.inst t.examples t.bottoms;
+    t.eids <- Array.init (Array.length t.examples) Fun.id;
+    Hashtbl.reset t.cache;
+    t.src_gen <- gen
+  end
 
 (** [sub t idxs] is the coverage structure restricted to the examples
     at [idxs] — saturations are shared, so cross-validation folds cost
-    nothing extra. *)
+    nothing extra. (Until the source mutates: a refresh re-saturates
+    the restricted examples privately.) *)
 let sub t idxs =
   {
     examples = Array.map (fun i -> t.examples.(i)) idxs;
@@ -142,9 +204,15 @@ let sub t idxs =
     cache_enabled = t.cache_enabled;
     domains = t.domains;
     force_parallel = t.force_parallel;
-    store = t.store;
+    inst = t.inst;
+    source = t.source;
+    spec = t.spec;
+    expand = t.expand;
+    params = t.params;
+    ex_store = t.ex_store;
     eids = Array.map (fun i -> t.eids.(i)) idxs;
     batch_enabled = t.batch_enabled;
+    src_gen = t.src_gen;
   }
 
 let set_domains t n = t.domains <- max 1 n
@@ -154,105 +222,112 @@ let set_force_parallel t b = t.force_parallel <- b
 let set_cache t b = t.cache_enabled <- b
 
 (** [set_batch t b] toggles the batched semi-join kernel; with [false]
-    every test goes through per-example θ-subsumption (the
-    differential battery compares the two). *)
+    the planner routes every test through per-example θ-subsumption
+    (the differential battery compares the two). *)
 let set_batch t b = t.batch_enabled <- b
 
-(** The example-saturation store, when the kernel is available — lets
-    learners reuse it for their own neighborhood queries. *)
-let store t = t.store
+(** The backend spec the structure currently runs on. *)
+let backend_spec t = t.spec
+
+(** [set_backend t spec] re-bases the structure on another storage
+    substrate: the example-saturation store is rebuilt under [spec]
+    and subsequent refreshes load through it. Bottom clauses are
+    canonical — independent of the serving backend — so they are kept;
+    coverage semantics are unchanged by construction. *)
+let set_backend t spec =
+  if spec <> t.spec then begin
+    t.spec <- spec;
+    t.ex_store <- example_store ~spec t.inst t.examples t.bottoms;
+    t.eids <- Array.init (Array.length t.examples) Fun.id
+  end
+
+(** The example-saturation backend, when the kernel is available —
+    lets learners reuse it for their own neighborhood queries. *)
+let store t = t.ex_store
 
 let clear_cache t = Hashtbl.reset t.cache
 
-(* ---------------- batched semi-join coverage ----------------------- *)
+(* ---------------- planner-dispatched evaluation -------------------- *)
 
-(* How often a vector call could ride the kernel vs. fell back to
-   per-example subsumption because the clause is not acyclic-join
-   shaped. *)
+(* Kept beside the planner's own counters: how often a test was
+   kernel-eligible (acyclic clause, store available, batching on —
+   whatever strategy the cost model then picked) vs. fell back because
+   the clause is not acyclic-join shaped. *)
 let c_batch_eligible = Obs.Counter.create "ilp.coverage.batch_eligible"
 
 let c_batch_fallbacks = Obs.Counter.create "ilp.coverage.batch_fallbacks"
 
-let pattern_of_atom (a : Atom.t) =
-  {
-    Algebra.prel = a.Atom.rel;
-    pargs =
-      Array.map
-        (function
-          | Term.Var v -> Algebra.Avar v
-          | Term.Const c -> Algebra.Aconst c)
-        a.Atom.args;
-  }
+let note_plan_reason (d : Planner.decision) =
+  match d.Planner.reason with
+  | Planner.Cost -> Obs.Counter.incr c_batch_eligible
+  | Planner.Cyclic -> Obs.Counter.incr c_batch_fallbacks
+  | Planner.No_store | Planner.Disabled -> ()
 
-(* The kernel applies when the clause — head included, since the head
-   must match the bottom clause's head under the same substitution —
-   is an acyclic join (GYO over the literals' variable sets; adding
-   the shared example-id column preserves acyclicity). *)
-let batch_plan t clause =
-  match t.store with
-  | None -> None
+let avg_bottom_len t =
+  let n = Array.length t.bottoms in
+  if n = 0 then 0.
+  else
+    float_of_int
+      (Array.fold_left
+         (fun acc (c : Clause.t) -> acc + 1 + List.length c.Clause.body)
+         0 t.bottoms)
+    /. float_of_int n
+
+let plan t ~n_undecided clause =
+  let d =
+    Planner.choose ~batch_enabled:t.batch_enabled ~ex_store:t.ex_store
+      ~n_undecided ~avg_bottom_len:(avg_bottom_len t) clause
+  in
+  note_plan_reason d;
+  d
+
+(* Run the kernel for the given undecided local example indexes and
+   note the rows it actually scanned against the planner's estimate. *)
+let run_semijoin t patterns positions =
+  match t.ex_store with
+  | None -> invalid_arg "Coverage.run_semijoin: no example store"
   | Some store ->
-      if not t.batch_enabled then None
-      else begin
-        let patterns =
-          List.map pattern_of_atom (clause.Clause.head :: clause.Clause.body)
-        in
-        match Hypergraph.join_forest (List.map Algebra.pattern_vars patterns) with
-        | Some _ ->
-            Obs.Counter.incr c_batch_eligible;
-            Some (store, patterns)
-        | None ->
-            Obs.Counter.incr c_batch_fallbacks;
-            None
-      end
+      let eids = Array.map (fun i -> t.eids.(i)) positions in
+      let fanout =
+        if t.domains <= 1 then None
+        else
+          Some
+            (fun parts f ->
+              Parallel.init ~force:t.force_parallel ~domains:t.domains parts f)
+      in
+      let rows0 = Obs.Counter.value Algebra.c_rows_scanned in
+      let res = Algebra.semijoin_batch ?fanout store ~patterns ~eids in
+      Planner.note_actual (Obs.Counter.value Algebra.c_rows_scanned - rows0);
+      res
 
-(* Answer one vector through the kernel: collect the examples the
-   masks leave undecided, query their ids in one batch (fanned out
-   over the Parallel pool when domains > 1), then fill in the masked
-   positions. *)
-let batched_vector ?assume ?within t store patterns =
-  let n = Array.length t.examples in
-  let undecided i =
-    (match within with Some m when not m.(i) -> false | _ -> true)
-    && match assume with Some k when k.(i) -> false | _ -> true
-  in
-  let positions =
-    Array.of_list
-      (List.filter undecided (List.init n Fun.id))
-  in
-  let eids = Array.map (fun i -> t.eids.(i)) positions in
-  let fanout =
-    if t.domains <= 1 then None
-    else
-      Some
-        (fun shards f ->
-          Parallel.init ~force:t.force_parallel ~domains:t.domains shards f)
-  in
-  let res = Algebra.semijoin_batch ?fanout store ~patterns ~eids in
-  let v =
-    Array.init n (fun i ->
-        match within with
-        | Some m when not m.(i) -> false
-        | _ -> ( match assume with Some k when k.(i) -> true | _ -> false))
-  in
-  Array.iteri (fun j pos -> v.(pos) <- res.(j)) positions;
-  v
+let subsumes_noted t clause i =
+  Obs.Counter.incr Stats.c_subsumption_tests;
+  let steps0 = Obs.Counter.value Subsume.c_steps in
+  let r = Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i) in
+  Planner.note_actual (Obs.Counter.value Subsume.c_steps - steps0);
+  r
 
 (** [covers t clause i] tests coverage of the [i]-th example alone. A
     full vector cached for the same (α-equivalent) clause answers
-    without a subsumption test. *)
+    without any test; otherwise the planner picks between a
+    single-example kernel run and one subsumption search — for one
+    undecided example the cost model almost always prefers the
+    latter. *)
 let covers t clause i =
   Obs.Span.with_span span_covers @@ fun () ->
+  refresh t;
   match
-    if t.cache_enabled then Hashtbl.find_opt t.cache (cache_key clause)
+    if t.cache_enabled then Hashtbl.find_opt t.cache (cache_key t clause)
     else None
   with
   | Some v ->
       Obs.Counter.incr Stats.c_cache_hits;
+      Planner.note_cached ();
       v.(i)
-  | None ->
-      Obs.Counter.incr Stats.c_subsumption_tests;
-      Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i)
+  | None -> (
+      match (plan t ~n_undecided:1 clause).Planner.strategy with
+      | Planner.Semijoin patterns -> (run_semijoin t patterns [| i |]).(0)
+      | Planner.Subsumption -> subsumes_noted t clause i)
 
 (** [vector ?assume ?within t clause] returns the boolean coverage
     vector of [clause] over all examples.
@@ -265,10 +340,11 @@ let covers t clause i =
     are the paper's coverage-test reuse optimizations
     (Section 7.5.4). *)
 let vector ?assume ?within t clause =
+  refresh t;
   (* masked queries bypass the cache: their vectors are only valid for
      that particular mask *)
   let cacheable = t.cache_enabled && assume = None && within = None in
-  let key = cache_key clause in
+  let key = cache_key t clause in
   let t0 = Unix.gettimeofday () in
   Fun.protect ~finally:(fun () ->
       let dt = Unix.gettimeofday () -. t0 in
@@ -279,35 +355,53 @@ let vector ?assume ?within t clause =
   match (if t.cache_enabled then Hashtbl.find_opt t.cache key else None) with
   | Some v ->
       Obs.Counter.incr Stats.c_cache_hits;
+      Planner.note_cached ();
       (* a cached unmasked vector answers masked queries exactly *)
       (match within with
       | Some mask -> Array.mapi (fun i b -> b && mask.(i)) v
       | None -> Array.copy v)
   | None ->
       if t.cache_enabled then Obs.Counter.incr c_cache_misses;
+      let n = length t in
+      let undecided i =
+        (match within with Some m when not m.(i) -> false | _ -> true)
+        && match assume with Some k when k.(i) -> false | _ -> true
+      in
+      let positions =
+        Array.of_list (List.filter undecided (List.init n Fun.id))
+      in
       let v =
-        match batch_plan t clause with
-        | Some (store, patterns) ->
-            (* acyclic-join clause: one semi-join program per shard
-               answers the whole batch *)
-            batched_vector ?assume ?within t store patterns
-        | None ->
-            (* cyclic (or kernel-less) clause: per-example subsumption *)
+        match
+          (plan t ~n_undecided:(Array.length positions) clause).Planner.strategy
+        with
+        | Planner.Semijoin patterns ->
+            (* acyclic-join clause: one semi-join program per backend
+               partition answers the whole batch *)
+            let res = run_semijoin t patterns positions in
+            let v =
+              Array.init n (fun i ->
+                  match within with
+                  | Some m when not m.(i) -> false
+                  | _ -> (
+                      match assume with
+                      | Some k when k.(i) -> true
+                      | _ -> false))
+            in
+            Array.iteri (fun j pos -> v.(pos) <- res.(j)) positions;
+            v
+        | Planner.Subsumption ->
+            (* cyclic, kernel-less, or simply cheaper per-example *)
             let test i =
               match within with
               | Some mask when not mask.(i) -> false
               | _ -> (
                   match assume with
                   | Some known when known.(i) -> true
-                  | _ ->
-                      Obs.Counter.incr Stats.c_subsumption_tests;
-                      Subsume.subsumes ~max_steps:t.max_steps clause
-                        t.bottoms.(i))
+                  | _ -> subsumes_noted t clause i)
             in
-            if t.domains <= 1 then Array.init (length t) test
+            if t.domains <= 1 then Array.init n test
             else
-              Parallel.init ~force:t.force_parallel ~domains:t.domains
-                (length t) test
+              Parallel.init ~force:t.force_parallel ~domains:t.domains n test
       in
       if cacheable then Hashtbl.replace t.cache key (Array.copy v);
       v

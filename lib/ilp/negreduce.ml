@@ -3,7 +3,11 @@
     it does not increase the number of covered negative examples;
     non-essential literals are dropped, scanning from the end of the
     clause. Castor replaces this with the inclusion-class-aware
-    Algorithm 5 (see {!Castor_core.Reduction}). *)
+    Algorithm 5 (see {!Castor_core.Reduction}).
+
+    The per-candidate counts come from {!Coverage.covered_count},
+    i.e. full coverage vectors whose evaluation strategy the
+    {!Planner} chooses per clause from backend statistics. *)
 
 open Castor_logic
 module Obs = Castor_obs.Obs

@@ -1,0 +1,199 @@
+(** Cost-based coverage planning.
+
+    Every candidate clause admits up to three evaluation strategies:
+    reusing a {e cached vector} (free), the {e batched semi-join}
+    kernel ({!Castor_relational.Algebra.semijoin_batch}, applicable
+    when the clause's join hypergraph is GYO-acyclic), and per-example
+    {e indexed θ-subsumption} ({!Castor_logic.Subsume}). Earlier the
+    dispatch was hardcoded in {!Coverage} — acyclic always rode the
+    kernel, cyclic always fell back. This module replaces that with
+    the estimate an RDBMS optimizer would make, fed by {!Backend}
+    statistics:
+
+    - a semi-join program scans, per pattern, either the whole
+      relation ([cardinality]) or — when the pattern carries a
+      constant — one index bucket, estimated as
+      [cardinality / distinct_count] at that column;
+    - a subsumption pass runs one search per undecided example, whose
+      matching work grows with the candidate length and the bottom
+      clauses it is matched against — estimated as
+      [n_undecided × clause_len × avg_bottom_len × branching].
+
+    Both estimates are in "rows touched", so they are comparable; the
+    cheaper strategy wins. The batch kernel dominates on full vectors
+    (one program amortized over all undecided examples) while a single
+    [covers] probe usually prefers subsumption — exactly the split the
+    old hardcoded dispatch could not express.
+
+    Decisions and estimated-vs-actual costs are recorded under
+    [ilp.planner.*]; {!note_actual} is fed with the observed row/step
+    counts so any metrics dump shows how honest the model is. *)
+
+open Castor_relational
+open Castor_logic
+module Obs = Castor_obs.Obs
+
+let c_decisions = Obs.Counter.create "ilp.planner.decisions"
+
+let c_choice_semijoin = Obs.Counter.create "ilp.planner.choice.semijoin"
+
+let c_choice_subsumption = Obs.Counter.create "ilp.planner.choice.subsumption"
+
+let c_choice_cached = Obs.Counter.create "ilp.planner.choice.cached"
+
+(** Summed estimated cost of the chosen strategies, in rows; compare
+    with [ilp.planner.actual_cost] for model calibration. *)
+let c_est_cost = Obs.Counter.create "ilp.planner.est_cost"
+
+let c_actual_cost = Obs.Counter.create "ilp.planner.actual_cost"
+
+type strategy =
+  | Semijoin of Algebra.pattern list
+      (** run the batched kernel on these patterns (head included) *)
+  | Subsumption  (** per-example θ-subsumption against the bottoms *)
+
+type reason =
+  | Cost  (** both strategies applicable; the estimates decided *)
+  | Cyclic  (** join hypergraph is cyclic — kernel inapplicable *)
+  | No_store  (** no example-saturation backend — kernel unavailable *)
+  | Disabled  (** batch kernel toggled off (differential testing) *)
+
+type decision = {
+  strategy : strategy;
+  reason : reason;
+  est_semijoin : float;  (** rows a kernel pass would scan; [infinity] when inapplicable *)
+  est_subsumption : float;  (** rows a subsumption pass would touch *)
+}
+
+(** Rough branching factor of the subsumption search per candidate
+    literal × bottom literal pair (backtracking, restarts). *)
+let subsumption_branching = 4.0
+
+let pattern_of_atom (a : Atom.t) =
+  {
+    Algebra.prel = a.Atom.rel;
+    pargs =
+      Array.map
+        (function
+          | Term.Var v -> Algebra.Avar v
+          | Term.Const c -> Algebra.Aconst c)
+        a.Atom.args;
+  }
+
+(* Estimated rows one pattern scan touches across all partitions:
+   an indexed probe on the first constant-bearing column, a full
+   relation scan otherwise. Pattern arg j lives at stored column j+1
+   (column 0 is the example id). *)
+let scan_estimate (backend : Backend.t) (p : Algebra.pattern) =
+  let module B = (val backend) in
+  if not (B.has_relation p.Algebra.prel) then 0.
+  else begin
+    let card = float_of_int (B.cardinality p.Algebra.prel) in
+    let const =
+      let found = ref None in
+      Array.iteri
+        (fun j a ->
+          match (a, !found) with
+          | Algebra.Aconst v, None -> found := Some (j, v)
+          | _ -> ())
+        p.Algebra.pargs;
+      !found
+    in
+    match const with
+    | Some (j, _) ->
+        let d = B.distinct_count p.Algebra.prel (j + 1) in
+        if d <= 0 then card else card /. float_of_int d
+    | None -> card
+  end
+
+let est_semijoin backend patterns =
+  List.fold_left (fun acc p -> acc +. scan_estimate backend p) 0. patterns
+
+let est_subsumption ~n_undecided ~clause_len ~avg_bottom_len =
+  float_of_int n_undecided *. float_of_int clause_len *. avg_bottom_len
+  *. subsumption_branching
+
+let record decision =
+  Obs.Counter.incr c_decisions;
+  let est =
+    match decision.strategy with
+    | Semijoin _ ->
+        Obs.Counter.incr c_choice_semijoin;
+        decision.est_semijoin
+    | Subsumption ->
+        Obs.Counter.incr c_choice_subsumption;
+        decision.est_subsumption
+  in
+  if Float.is_finite est then
+    Obs.Counter.add c_est_cost (int_of_float (Float.min est 1e12));
+  decision
+
+(** [choose ~batch_enabled ~ex_store ~n_undecided ~avg_bottom_len
+    clause] plans the coverage test of [clause] over [n_undecided]
+    still-undecided examples. [ex_store] is the example-saturation
+    backend the kernel would run on ([None] disables it); statistics
+    are read from it. The decision is recorded under
+    [ilp.planner.*]. *)
+let choose ~batch_enabled ~(ex_store : Backend.t option) ~n_undecided
+    ~avg_bottom_len (clause : Clause.t) =
+  let clause_len = 1 + List.length clause.Clause.body in
+  let est_subs = est_subsumption ~n_undecided ~clause_len ~avg_bottom_len in
+  match ex_store with
+  | None ->
+      record
+        {
+          strategy = Subsumption;
+          reason = No_store;
+          est_semijoin = infinity;
+          est_subsumption = est_subs;
+        }
+  | Some _ when not batch_enabled ->
+      record
+        {
+          strategy = Subsumption;
+          reason = Disabled;
+          est_semijoin = infinity;
+          est_subsumption = est_subs;
+        }
+  | Some store -> (
+      (* head included: it must match the bottom clause's head under
+         the same substitution, so it is one more join edge *)
+      let patterns =
+        List.map pattern_of_atom (clause.Clause.head :: clause.Clause.body)
+      in
+      match
+        Hypergraph.join_forest (List.map Algebra.pattern_vars patterns)
+      with
+      | None ->
+          record
+            {
+              strategy = Subsumption;
+              reason = Cyclic;
+              est_semijoin = infinity;
+              est_subsumption = est_subs;
+            }
+      | Some _ ->
+          let est_sj = est_semijoin store patterns in
+          let strategy =
+            if est_sj <= est_subs then Semijoin patterns else Subsumption
+          in
+          record
+            {
+              strategy;
+              reason = Cost;
+              est_semijoin = est_sj;
+              est_subsumption = est_subs;
+            })
+
+(** A cache hit is the third strategy — counted so the decision mix
+    (cached / semi-join / subsumption) is visible in one dump. *)
+let note_cached () =
+  Obs.Counter.incr c_decisions;
+  Obs.Counter.incr c_choice_cached
+
+(** [note_actual n] records the observed cost of an executed plan —
+    kernel rows actually scanned, or subsumption search steps actually
+    taken — next to the estimate that chose it. Parallel fan-out
+    flushes worker counters at pool boundaries, so per-call deltas are
+    a close (not exact) account under [domains > 1]. *)
+let note_actual n = if n > 0 then Obs.Counter.add c_actual_cost n

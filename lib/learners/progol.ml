@@ -215,7 +215,3 @@ module Unified_aleph_progol : Learner.S =
 let () =
   Learner.register (module Unified_aleph_foil);
   Learner.register (module Unified_aleph_progol)
-
-let learn_with_params = learn
-  [@@deprecated
-    "use Unified_aleph_foil.learn / Learner.find \"aleph-foil\" instead"]

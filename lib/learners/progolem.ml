@@ -206,6 +206,3 @@ module Unified : Learner.S =
          (fun c p -> learn ~params:(params_of_config c) p))
 
 let () = Learner.register (module Unified)
-
-let learn_with_params = learn
-  [@@deprecated "use Unified.learn / Learner.find \"progolem\" instead"]

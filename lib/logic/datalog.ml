@@ -39,16 +39,18 @@ let store_facts (fs : fact_store) rel =
   match Hashtbl.find_opt fs rel with Some s -> Atom.Set.elements !s | None -> []
 
 (* all substitutions satisfying [body]: literals may match base
-   relations of [inst] or derived facts in [fs]; when [delta] is given,
-   at least one literal must match inside [delta] (semi-naive) *)
-let rec solve inst (fs : fact_store) ?delta body subst emit =
+   relations behind [backend] or derived facts in [fs]; when [delta]
+   is given, at least one literal must match inside [delta]
+   (semi-naive) *)
+let rec solve (backend : Backend.t) (fs : fact_store) ?delta body subst emit =
+  let module B = (val backend) in
   match body with
   | [] -> (match delta with None -> emit subst | Some _ -> ())
   | (lit : Atom.t) :: rest ->
       let lit' = Subst.apply_atom subst lit in
-      (* candidates from the base instance *)
+      (* candidates from the base data *)
       let base_candidates =
-        if Schema.mem_relation (Instance.schema inst) lit'.Atom.rel then begin
+        if B.has_relation lit'.Atom.rel then begin
           (* use the first bound argument for an indexed probe *)
           let bound =
             Array.to_list lit'.Atom.args
@@ -56,7 +58,7 @@ let rec solve inst (fs : fact_store) ?delta body subst emit =
             |> List.filter_map (fun (i, t) ->
                    match t with Term.Const v -> Some (i, v) | Term.Var _ -> None)
           in
-          Instance.find_matching inst lit'.Atom.rel bound
+          B.find_matching lit'.Atom.rel bound
           |> List.map (Atom.of_tuple lit'.Atom.rel)
         end
         else []
@@ -66,8 +68,8 @@ let rec solve inst (fs : fact_store) ?delta body subst emit =
         match Subst.match_atom subst lit cand with
         | None -> ()
         | Some subst' ->
-            if in_delta then solve inst fs rest subst' emit
-            else solve inst fs ?delta rest subst' emit
+            if in_delta then solve backend fs rest subst' emit
+            else solve backend fs ?delta rest subst' emit
       in
       List.iter (try_cand ~in_delta:false) base_candidates;
       (match delta with
@@ -97,12 +99,13 @@ let head_instance (cl : Clause.t) subst =
     must be safe.
     @raise Unsafe_clause if a head variable is unbound by its body. *)
 let run ?(max_rounds = 10_000) inst (clauses : Clause.t list) : fact_store =
+  let backend = Backend.of_instance inst in
   let fs : fact_store = Hashtbl.create 8 in
   (* round 0: naive evaluation against the base instance only *)
   let delta : fact_store ref = ref (Hashtbl.create 8) in
   List.iter
     (fun (cl : Clause.t) ->
-      solve inst fs cl.Clause.body Subst.empty (fun subst ->
+      solve backend fs cl.Clause.body Subst.empty (fun subst ->
           let h = head_instance cl subst in
           if store_add fs h then ignore (store_add !delta h)))
     clauses;
@@ -112,7 +115,7 @@ let run ?(max_rounds = 10_000) inst (clauses : Clause.t list) : fact_store =
     let next_delta : fact_store = Hashtbl.create 8 in
     List.iter
       (fun (cl : Clause.t) ->
-        solve inst fs ~delta:!delta cl.Clause.body Subst.empty (fun subst ->
+        solve backend fs ~delta:!delta cl.Clause.body Subst.empty (fun subst ->
             let h = head_instance cl subst in
             if not (store_mem fs h) then begin
               ignore (store_add fs h);

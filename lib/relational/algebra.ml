@@ -107,7 +107,7 @@ let natural_join_all = function
 let select tbl pred = { tbl with trows = List.filter pred tbl.trows }
 
 (* ------------------------------------------------------------------ *)
-(* Batched semi-join kernel over a sharded store                       *)
+(* Batched semi-join kernel over a storage backend                     *)
 (* ------------------------------------------------------------------ *)
 
 module Obs = Castor_obs.Obs
@@ -153,14 +153,15 @@ let pattern_vars p =
    row.(k + 1) the binding of the k-th variable of [svars]. *)
 type sj_table = { svars : string list; mutable srows : Tuple.t list }
 
-(* Scan one pattern against one shard: pick an indexed access path
-   when the pattern carries a constant, filter on constants and
-   repeated variables, and project to (eid, distinct variables),
-   deduplicated. *)
-let scan_pattern store s (p : pattern) =
+(* Scan one pattern against one backend partition: pick an indexed
+   access path when the pattern carries a constant, filter on
+   constants and repeated variables, and project to (eid, distinct
+   variables), deduplicated. *)
+let scan_pattern (backend : Backend.t) s (p : pattern) =
+  let module B = (val backend) in
   let vars = pattern_vars p in
   let candidates =
-    if not (Store.has_relation store p.prel) then []
+    if not (B.has_relation p.prel) then []
     else begin
       let const =
         let found = ref None in
@@ -173,8 +174,8 @@ let scan_pattern store s (p : pattern) =
         !found
       in
       match const with
-      | Some (j, v) -> Store.find_in_shard store s p.prel (j + 1) v
-      | None -> Store.shard_tuples store s p.prel
+      | Some (j, v) -> B.find_in_partition s p.prel (j + 1) v
+      | None -> B.partition_tuples s p.prel
     end
   in
   let matches (row : Tuple.t) =
@@ -245,16 +246,16 @@ let semijoin parent child =
   parent.srows <-
     List.filter (fun r -> Hashtbl.mem keys (Tuple.project ppos r)) parent.srows
 
-(* Evaluate the whole semi-join program on one shard: scan every
-   pattern, run the Yannakakis bottom-up pass in ear-removal order,
-   then intersect the surviving example-id sets of the component
-   roots. *)
-let run_shard store pats order s targets =
+(* Evaluate the whole semi-join program on one backend partition: scan
+   every pattern, run the Yannakakis bottom-up pass in ear-removal
+   order, then intersect the surviving example-id sets of the
+   component roots. *)
+let run_partition backend pats order s targets =
   Obs.Counter.incr c_shard_tasks;
   match targets with
   | [] -> [||]
   | _ ->
-      let tables = Array.map (scan_pattern store s) pats in
+      let tables = Array.map (scan_pattern backend s) pats in
       let root_sets = ref [] in
       List.iter
         (fun (e, parent) ->
@@ -274,24 +275,29 @@ let run_shard store pats order s targets =
              List.for_all (fun set -> Hashtbl.mem set (Value.int eid)) sets)
            targets)
 
-(** [semijoin_batch ?fanout store ~patterns ~eids] answers, for each
+(** [semijoin_batch ?fanout backend ~patterns ~eids] answers, for each
     of the [k] example ids in [eids], whether the conjunctive
     [patterns] have at least one satisfying assignment among the
     example's stored tuples — k boolean coverage answers in one
-    Yannakakis semi-join program per shard, instead of k independent
-    subsumption searches.
+    Yannakakis semi-join program per backend partition, instead of k
+    independent subsumption searches.
+
+    The kernel is backend-generic: it reads only the {!Backend}
+    partition surface, so the flat instance runs as a single partition
+    and the sharded store fans one task out per shard with no
+    shard-specific code path here.
 
     The pattern hypergraph (one hyperedge of variables per pattern)
     must be GYO-acyclic; prepending the example-id column to every
     edge preserves acyclicity, so the program stays exact. Disconnected
     components are evaluated independently and joined by intersecting
-    their root example-id sets. [fanout] runs the per-shard tasks
+    their root example-id sets. [fanout] runs the per-partition tasks
     (default: sequential; the ILP layer passes its [Parallel] pool).
 
     @raise Cyclic_pattern when the hypergraph is cyclic — the caller
     falls back to per-example evaluation. *)
-let semijoin_batch ?(fanout = fun n f -> Array.init n f) store
-    ~(patterns : pattern list) ~(eids : int array) =
+let semijoin_batch ?(fanout = fun n f -> Array.init n f)
+    (backend : Backend.t) ~(patterns : pattern list) ~(eids : int array) =
   Obs.Span.with_span span_batch @@ fun () ->
   Obs.Counter.incr c_batches;
   Obs.Counter.add c_batch_examples (Array.length eids);
@@ -303,23 +309,24 @@ let semijoin_batch ?(fanout = fun n f -> Array.init n f) store
         | Some o -> o
         | None -> raise Cyclic_pattern
       in
+      let module B = (val backend) in
       let pats = Array.of_list patterns in
-      let n = Store.n_shards store in
-      let by_shard = Array.make n [] in
+      let n = B.n_partitions () in
+      let by_part = Array.make n [] in
       Array.iteri
         (fun k eid ->
-          let s = Store.shard_of_value store (Value.int eid) in
-          by_shard.(s) <- (k, eid) :: by_shard.(s))
+          let s = B.partition_of_value (Value.int eid) in
+          by_part.(s) <- (k, eid) :: by_part.(s))
         eids;
-      let by_shard = Array.map List.rev by_shard in
+      let by_part = Array.map List.rev by_part in
       let results =
         fanout n (fun s ->
-            run_shard store pats order s (List.map snd by_shard.(s)))
+            run_partition backend pats order s (List.map snd by_part.(s)))
       in
       let out = Array.make (Array.length eids) false in
       Array.iteri
         (fun s bools ->
-          List.iteri (fun j (k, _) -> out.(k) <- bools.(j)) by_shard.(s))
+          List.iteri (fun j (k, _) -> out.(k) <- bools.(j)) by_part.(s))
         results;
       out
 

@@ -1,0 +1,302 @@
+(** The one storage-backend seam of the learning stack.
+
+    The paper's implementation talks to a main-memory RDBMS through a
+    fixed query surface (Section 7.5.1); this repo grew two substrates
+    behind that role — the flat hash-indexed {!Instance} and the
+    sharded delta-maintained {!Store} — and, before this module, each
+    consumer picked one ad hoc ({!Bottom} took an optional lookup
+    hook, {!Coverage} hardcoded its dispatch, {!Algebra} reached into
+    shard internals). [Backend] is the abstraction they all route
+    through instead:
+
+    - {e scans} and {e indexed lookups} by [(relation, position,
+      value)] — the two access paths saturation and the semi-join
+      kernel need;
+    - {e statistics} (cardinalities, per-position distinct counts) —
+      what the cost-based coverage planner feeds on;
+    - a {e generation counter} — bumped by every mutation of the
+      underlying data, so derived structures (coverage memos, example
+      stores) can key their caches on it and detect staleness;
+    - {e partitioned access} — the sharded store exposes its shards,
+      the flat instance presents itself as one partition, and the
+      batched semi-join kernel fans out over whatever it gets.
+
+    A future backend (on-disk, remote) is one more implementation of
+    {!S}; nothing outside [lib/relational] needs to change. *)
+
+module Obs = Castor_obs.Obs
+
+let c_wraps = Obs.Counter.create "backend.wraps"
+
+let c_creates = Obs.Counter.create "backend.creates"
+
+(** The backend signature. Implementations are stateful first-class
+    modules: each value of {!t} owns (or wraps) one database. *)
+module type S = sig
+  (** Implementation id: ["instance"] or ["store"]. *)
+  val name : string
+
+  (* -------- schema surface -------- *)
+
+  val relation_names : unit -> string list
+
+  val has_relation : string -> bool
+
+  val arity : string -> int
+
+  (* -------- mutation (generation-bumping deltas) -------- *)
+
+  (** [add rel tu] inserts (set semantics); [true] when new. *)
+  val add : string -> Tuple.t -> bool
+
+  (** [remove rel tu]; [true] when the tuple was present. *)
+  val remove : string -> Tuple.t -> bool
+
+  (* -------- reads -------- *)
+
+  val mem : string -> Tuple.t -> bool
+
+  (** [tuples rel] — full scan. *)
+  val tuples : string -> Tuple.t list
+
+  (** [find rel pos v] — indexed lookup: tuples whose column [pos]
+      holds [v]. *)
+  val find : string -> int -> Value.t -> Tuple.t list
+
+  (** [find_matching rel bindings] — tuples agreeing with every
+      [(position, value)] binding; indexed on the first binding. *)
+  val find_matching : string -> (int * Value.t) list -> Tuple.t list
+
+  (** [tuples_containing rel v] — tuples mentioning [v] at any
+      position, deduplicated. *)
+  val tuples_containing : string -> Value.t -> Tuple.t list
+
+  (* -------- statistics (the planner's diet) -------- *)
+
+  val cardinality : string -> int
+
+  (** Total tuples across relations. *)
+  val size : unit -> int
+
+  (** [distinct_count rel pos] — number of distinct values stored at
+      column [pos] of [rel]; the per-position selectivity statistic
+      ([cardinality / distinct_count] estimates an indexed probe's
+      result size). *)
+  val distinct_count : string -> int -> int
+
+  (** Mutation counter of the underlying data. Equal generations imply
+      the data has not changed; cache keys should include it. *)
+  val generation : unit -> int
+
+  (* -------- partitioned access (the semi-join kernel's view) ------ *)
+
+  (** Number of partitions; 1 for the flat instance. *)
+  val n_partitions : unit -> int
+
+  (** Partition owning key value [v] — a pure function of the value,
+      identical across backends with the same partition count. *)
+  val partition_of_value : Value.t -> int
+
+  (** Rows of [rel] living on one partition. *)
+  val partition_tuples : int -> string -> Tuple.t list
+
+  (** Indexed lookup restricted to one partition. *)
+  val find_in_partition : int -> string -> int -> Value.t -> Tuple.t list
+end
+
+type t = (module S)
+
+(* ------------------------------------------------------------------ *)
+(* Implementations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let distinct_at tuples pos =
+  List.fold_left
+    (fun acc (tu : Tuple.t) ->
+      if pos < Array.length tu then Value.Set.add tu.(pos) acc else acc)
+    Value.Set.empty tuples
+  |> Value.Set.cardinal
+
+(** The flat {!Instance} behind the backend surface: one partition,
+    global secondary indexes, zero-copy (mutations of the wrapped
+    instance are immediately visible and bump the generation). *)
+module Instance_backend = struct
+  let make (inst : Instance.t) : t =
+    Obs.Counter.incr c_wraps;
+    (module struct
+      let name = "instance"
+
+      let relation_names () = Instance.relation_names inst
+
+      let has_relation rel =
+        Schema.mem_relation (Instance.schema inst) rel
+
+      let arity rel = Schema.arity (Instance.schema inst) rel
+
+      let add rel tu =
+        if Instance.mem inst rel tu then false
+        else begin
+          Instance.add inst rel tu;
+          true
+        end
+
+      let remove rel tu = Instance.remove inst rel tu
+
+      let mem rel tu = Instance.mem inst rel tu
+
+      let tuples rel = Instance.tuples inst rel
+
+      let find rel pos v = Instance.find inst rel pos v
+
+      let find_matching rel bindings = Instance.find_matching inst rel bindings
+
+      let tuples_containing rel v = Instance.tuples_containing inst rel v
+
+      let cardinality rel = Instance.cardinality inst rel
+
+      let size () = Instance.size inst
+
+      let distinct_count rel pos = distinct_at (Instance.tuples inst rel) pos
+
+      let generation () = Instance.generation inst
+
+      let n_partitions () = 1
+
+      let partition_of_value _ = 0
+
+      let partition_tuples _ rel = Instance.tuples inst rel
+
+      let find_in_partition _ rel pos v = Instance.find inst rel pos v
+    end)
+end
+
+(** The sharded {!Store} behind the backend surface: hash-partitioned
+    relations with shard-local secondary indexes; the kernel's
+    per-partition tasks map one-to-one onto shards. *)
+module Store_backend = struct
+  let make (store : Store.t) : t =
+    Obs.Counter.incr c_wraps;
+    (module struct
+      let name = "store"
+
+      let relation_names () = Store.relation_names store
+
+      let has_relation rel = Store.has_relation store rel
+
+      let arity rel = Store.arity store rel
+
+      let add rel tu = Store.add store rel tu
+
+      let remove rel tu = Store.remove store rel tu
+
+      let mem rel tu = Store.mem store rel tu
+
+      let tuples rel = Store.tuples store rel
+
+      let find rel pos v = Store.find store rel pos v
+
+      let find_matching rel = function
+        | [] -> Store.tuples store rel
+        | (p0, v0) :: rest ->
+            List.filter
+              (fun (tu : Tuple.t) ->
+                List.for_all (fun (p, v) -> Value.equal tu.(p) v) rest)
+              (Store.find store rel p0 v0)
+
+      let tuples_containing rel v = Store.tuples_containing store rel v
+
+      let cardinality rel = Store.cardinality store rel
+
+      let size () = Store.size store
+
+      let distinct_count rel pos = distinct_at (Store.tuples store rel) pos
+
+      let generation () = Store.generation store
+
+      let n_partitions () = Store.n_shards store
+
+      let partition_of_value v = Store.shard_of_value store v
+
+      let partition_tuples s rel = Store.shard_tuples store s rel
+
+      let find_in_partition s rel pos v = Store.find_in_shard store s rel pos v
+    end)
+end
+
+let of_instance = Instance_backend.make
+
+let of_store = Store_backend.make
+
+(* ------------------------------------------------------------------ *)
+(* Specs: how callers ask for a backend                                *)
+(* ------------------------------------------------------------------ *)
+
+(** What kind of substrate to build: the flat instance or the sharded
+    store with [k] shards. This is the value the [--backend] CLI flag
+    and the learner config carry. *)
+type spec = Flat | Sharded of int
+
+let default_spec = Sharded Store.default_shards
+
+let spec_to_string = function
+  | Flat -> "instance"
+  | Sharded k -> Printf.sprintf "store:%d" k
+
+(** [spec_of_string s] parses ["instance"], ["store"] (default shard
+    count) or ["store:<k>"].
+    @raise Invalid_argument on anything else. *)
+let spec_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "instance" | "flat" -> Flat
+  | "store" -> Sharded Store.default_shards
+  | other -> (
+      match String.index_opt other ':' with
+      | Some i
+        when String.sub other 0 i = "store" ->
+          let k =
+            try int_of_string (String.sub other (i + 1) (String.length other - i - 1))
+            with _ -> invalid_arg ("Backend.spec_of_string: bad shard count in " ^ s)
+          in
+          if k < 1 then invalid_arg "Backend.spec_of_string: shards must be >= 1";
+          Sharded k
+      | _ ->
+          invalid_arg
+            ("Backend.spec_of_string: " ^ s ^ " (try instance|store[:shards])"))
+
+(* a synthetic schema for fresh instance-backed stores built from bare
+   (name, arity) pairs — attribute names and domains are never read by
+   the backend surface *)
+let synthetic_schema rels =
+  Schema.make
+    (List.map
+       (fun (name, arity) ->
+         Schema.relation name
+           (List.init arity (fun i ->
+                Schema.attribute ~domain:"v" (Printf.sprintf "a%d" i))))
+       rels)
+
+(** [create spec rels] builds a fresh empty backend for relations
+    given as [(name, arity)] pairs — the constructor the coverage
+    layer uses for its example-saturation stores. *)
+let create spec rels : t =
+  Obs.Counter.incr c_creates;
+  match spec with
+  | Sharded k -> of_store (Store.create ~shards:k rels)
+  | Flat -> of_instance (Instance.create (synthetic_schema rels))
+
+(** [load spec inst] presents {!Instance} [inst] through a backend of
+    kind [spec]. [Flat] wraps [inst] itself (zero copy — mutations
+    flow through); [Sharded k] loads a sharded copy, a snapshot whose
+    generation moves independently of [inst]. *)
+let load spec inst : t =
+  match spec with
+  | Flat -> of_instance inst
+  | Sharded k -> of_store (Store.of_instance ~shards:k inst)
+
+let name (b : t) =
+  let module B = (val b) in
+  B.name
+
+let generation (b : t) =
+  let module B = (val b) in
+  B.generation ()

@@ -10,15 +10,23 @@ type t = {
   schema : Schema.t;
   store : (string, Tuple.t list ref) Hashtbl.t;  (** tuples in insertion order, newest first *)
   index : (string * int * Value.t, Tuple.t list ref) Hashtbl.t;
+  mutable generation : int;
+      (** bumped on every effective [add]/[remove]; {!Backend} exposes
+          it so derived structures (coverage memos, example stores) can
+          detect that their source data moved underneath them *)
 }
 
 let create schema =
   let store = Hashtbl.create 64 in
   List.iter (fun (r : Schema.relation) -> Hashtbl.replace store r.rname (ref []))
     schema.Schema.relations;
-  { schema; store; index = Hashtbl.create 4096 }
+  { schema; store; index = Hashtbl.create 4096; generation = 0 }
 
 let schema t = t.schema
+
+(** Mutation counter: increases exactly when an [add] inserts or a
+    [remove] deletes a tuple. Equal generations imply unchanged data. *)
+let generation t = t.generation
 
 let relation_names t =
   List.map (fun (r : Schema.relation) -> r.Schema.rname) t.schema.Schema.relations
@@ -49,7 +57,8 @@ let add t rel (tuple : Tuple.t) =
         match Hashtbl.find_opt t.index key with
         | Some l -> l := tuple :: !l
         | None -> Hashtbl.add t.index key (ref [ tuple ]))
-      tuple
+      tuple;
+    t.generation <- t.generation + 1
   end
 
 let add_list t rel vs = add t rel (Tuple.of_list vs)
@@ -77,6 +86,7 @@ let remove t rel (tuple : Tuple.t) =
             match !l with [] -> Hashtbl.remove t.index key | _ -> ())
         | None -> ())
       tuple;
+    t.generation <- t.generation + 1;
     true
   end
 

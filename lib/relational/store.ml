@@ -43,7 +43,14 @@ type rel_store = {
   shards : shard array;
 }
 
-type t = { n_shards : int; rels : (string, rel_store) Hashtbl.t }
+type t = {
+  n_shards : int;
+  rels : (string, rel_store) Hashtbl.t;
+  mutable generation : int;
+      (** bumped on every effective [add]/[remove] delta; the
+          {!Backend} seam exposes it so derived structures can detect
+          mutation without diffing shards *)
+}
 
 exception Arity_mismatch of string
 
@@ -65,9 +72,13 @@ let create ?(shards = default_shards) ?(key = fun _ -> 0) rels =
       let mk _ = { rows = []; count = 0; index = Hashtbl.create 64 } in
       Hashtbl.replace tbl name { arity; key_pos; shards = Array.init shards mk })
     rels;
-  { n_shards = shards; rels = tbl }
+  { n_shards = shards; rels = tbl; generation = 0 }
 
 let n_shards t = t.n_shards
+
+(** Mutation counter: increases exactly when an [add] inserts or a
+    [remove] deletes a tuple. Equal generations imply unchanged data. *)
+let generation t = t.generation
 
 let has_relation t rel = Hashtbl.mem t.rels rel
 
@@ -132,6 +143,7 @@ let add t rel (tuple : Tuple.t) =
     sh.rows <- tuple :: sh.rows;
     sh.count <- sh.count + 1;
     Array.iteri (fun i v -> index_add sh i v tuple) tuple;
+    t.generation <- t.generation + 1;
     Obs.Counter.incr c_adds;
     true
   end
@@ -146,6 +158,7 @@ let remove t rel (tuple : Tuple.t) =
     sh.rows <- List.filter (fun tu -> not (Tuple.equal tu tuple)) sh.rows;
     sh.count <- sh.count - 1;
     Array.iteri (fun i v -> index_remove sh i v tuple) tuple;
+    t.generation <- t.generation + 1;
     Obs.Counter.incr c_removes;
     true
   end

@@ -351,6 +351,47 @@ let test_mode_inference () =
         (Modes.to_string m)
   | ms -> Alcotest.failf "expected one mode, got %d" (List.length ms)
 
+(* ---------------- source lints -------------------------------------- *)
+
+let test_source_lint () =
+  let rule = "backend/direct-instance-access" in
+  check_fires "Instance lookup in evaluation code" rule
+    (Analyze.source ~path:"lib/logic/bad.ml"
+       "let eval inst = Instance.find_matching inst \"r\" []");
+  check_fires "qualified Store lookup" rule
+    (Analyze.source ~path:"lib/ilp/bad.ml"
+       "let probe s = Castor_relational.Store.find s \"r\" 0 v");
+  check_clean "Backend seam access" rule
+    (Analyze.source ~path:"lib/logic/good.ml"
+       "let eval (b : Backend.t) =\n\
+        \  let module B = (val b) in\n\
+        \  B.find_matching \"r\" []");
+  check_clean "mutation entry points stay legal" rule
+    (Analyze.source ~path:"test/setup.ml"
+       "let build () = Instance.add inst \"r\" [| v |]");
+  check_clean "banned name inside a comment" rule
+    (Analyze.source ~path:"lib/logic/doc.ml"
+       "(* Instance.find is what the seam replaces (* nested \
+        Store.tuples *) *) let x = 1");
+  check_clean "banned name inside a string literal" rule
+    (Analyze.source ~path:"lib/logic/msg.ml"
+       "let m = \"use Instance.find_matching here\"");
+  check_clean "the storage layer itself is exempt" rule
+    (Analyze.source ~path:"lib/relational/backend.ml"
+       "let f inst = Instance.find_matching inst \"r\" []");
+  (* diagnostics carry positions, and the rule is catalogued *)
+  (match
+     Analyze.source ~path:"lib/x.ml" "let a = 1\nlet b = Instance.find i \"r\""
+   with
+  | [ d ] -> (
+      match d.Diagnostic.span with
+      | Some s ->
+          check Alcotest.int "line" 2 s.Diagnostic.line;
+          check Alcotest.int "col" 9 s.Diagnostic.col
+      | None -> Alcotest.fail "source diagnostic lost its span")
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+  check Alcotest.bool "rule is catalogued" true (Analyze.find_rule rule <> None)
+
 (* ---------------- catalog ------------------------------------------- *)
 
 let test_catalog () =
@@ -471,6 +512,7 @@ let suite =
     tc "mode/no-input-positions fires and stays quiet" test_mode_inputs;
     tc "mode/saturation-budget fires and stays quiet" test_mode_budget;
     tc "modes are inferred from the schema's fds" test_mode_inference;
+    tc "backend/direct-instance-access fires and stays quiet" test_source_lint;
     tc "the rule catalog is consistent and 8+ rules fire" test_catalog;
     tc "the pre-learning gate rejects, warns and can be disabled"
       test_problem_gate;

@@ -1,8 +1,10 @@
-(* Differential battery for the batched semi-join coverage kernel:
-   whatever the shard count, Coverage.vector with the kernel enabled
-   must agree bit-for-bit with the per-example Subsume path, on both a
-   real dataset (family) and seeded random problems. Also checks the
-   GYO join-forest builder against the existing acyclicity test. *)
+(* Differential battery for the planner-dispatched coverage kernel:
+   whatever the backend (flat instance or sharded store, any shard
+   count), Coverage.vector with the kernel enabled must agree
+   bit-for-bit with the per-example Subsume path, on both a real
+   dataset (family) and seeded random problems. Also checks the GYO
+   join-forest builder, the semi-join kernel's edge cases, and that
+   source-instance mutation invalidates the coverage memo. *)
 
 open Castor_relational
 open Castor_logic
@@ -15,6 +17,17 @@ let family = Castor_datasets.Family.generate ()
 let family_inst = family.Castor_datasets.Dataset.instance
 
 let family_ex = family.Castor_datasets.Dataset.examples
+
+(* every substrate the acceptance battery pins: the flat instance and
+   the sharded store at 1/2/4/7 shards *)
+let specs =
+  [
+    Backend.Flat;
+    Backend.Sharded 1;
+    Backend.Sharded 2;
+    Backend.Sharded 4;
+    Backend.Sharded 7;
+  ]
 
 (* body prefixes of each example's variabilized bottom clause — the
    shapes ARMG actually walks through *)
@@ -56,30 +69,45 @@ let differential_on cov clauses =
 
 let family_suite =
   [
-    tc "family: batched coverage == Subsume coverage (pos and neg)" (fun () ->
+    tc "family: planner coverage == Subsume coverage on every backend"
+      (fun () ->
         let params = Bottom.default_params in
-        let pos = Coverage.build ~params family_inst family_ex.Examples.pos in
-        let neg = Coverage.build ~params family_inst family_ex.Examples.neg in
         let cands = candidates family_inst params family_ex.Examples.pos 3 in
         let before = Obs.Counter.value Algebra.c_batches in
-        differential_on pos cands;
-        differential_on neg cands;
+        List.iter
+          (fun backend ->
+            let pos =
+              Coverage.build ~params ~backend family_inst
+                family_ex.Examples.pos
+            in
+            let neg =
+              Coverage.build ~params ~backend family_inst
+                family_ex.Examples.neg
+            in
+            differential_on pos cands;
+            differential_on neg cands)
+          [ Backend.Flat; Backend.Sharded 4 ];
         check Alcotest.bool "kernel actually ran" true
           (Obs.Counter.value Algebra.c_batches > before));
-    tc "family: shard count is invisible in coverage vectors" (fun () ->
+    tc "family: the backend is invisible in coverage vectors" (fun () ->
         let params = Bottom.default_params in
         let cands = candidates family_inst params family_ex.Examples.pos 2 in
-        let vectors shards =
+        let vectors backend =
           let cov =
-            Coverage.build ~params ~shards family_inst family_ex.Examples.pos
+            Coverage.build ~params ~backend family_inst
+              family_ex.Examples.pos
           in
           Coverage.set_cache cov false;
           List.map (fun c -> Array.to_list (Coverage.vector cov c)) cands
         in
-        let v1 = vectors 1 in
-        check Alcotest.(list (list bool)) "2 shards" v1 (vectors 2);
-        check Alcotest.(list (list bool)) "4 shards" v1 (vectors 4);
-        check Alcotest.(list (list bool)) "7 shards" v1 (vectors 7));
+        let v1 = vectors (Backend.Sharded 1) in
+        List.iter
+          (fun backend ->
+            check
+              Alcotest.(list (list bool))
+              (Backend.spec_to_string backend)
+              v1 (vectors backend))
+          specs);
   ]
 
 (* ---------------- seeded random problems -------------------------- *)
@@ -112,34 +140,34 @@ let random_problem seed =
 
 let random_suite =
   [
-    qt ~count:25 "random problems: batched == Subsume across 1/2/4 shards"
+    qt ~count:25 "random problems: planner == Subsume on every backend"
       QCheck2.Gen.(int_bound 10_000)
       (fun seed ->
         let inst, examples = random_problem seed in
         let params = Bottom.default_params in
         let cands = candidates inst params examples 4 in
         List.for_all
-          (fun shards ->
-            let cov = Coverage.build ~params ~shards inst examples in
+          (fun backend ->
+            let cov = Coverage.build ~params ~backend inst examples in
             List.for_all
               (fun clause ->
                 let vb, vs = both cov clause in
                 vb = vs)
               cands)
-          [ 1; 2; 4 ]);
-    qt ~count:25 "random problems: shard count invariance of the kernel"
+          specs);
+    qt ~count:25 "random problems: backend invariance of the kernel"
       QCheck2.Gen.(int_bound 10_000)
       (fun seed ->
         let inst, examples = random_problem seed in
         let params = Bottom.default_params in
         let cands = candidates inst params examples 3 in
-        let vectors shards =
-          let cov = Coverage.build ~params ~shards inst examples in
+        let vectors backend =
+          let cov = Coverage.build ~params ~backend inst examples in
           Coverage.set_cache cov false;
           List.map (fun c -> Array.to_list (Coverage.vector cov c)) cands
         in
-        let v1 = vectors 1 in
-        List.for_all (fun s -> vectors s = v1) [ 2; 3; 4; 5 ]);
+        let v1 = vectors (Backend.Sharded 1) in
+        List.for_all (fun s -> vectors s = v1) specs);
   ]
 
 (* ---------------- join forest ------------------------------------- *)
@@ -205,4 +233,120 @@ let kernel_fallback_suite =
           (Obs.Counter.value Coverage.c_batch_fallbacks > before));
   ]
 
-let suite = family_suite @ random_suite @ forest_suite @ kernel_fallback_suite
+(* ---------------- semi-join kernel edge cases ---------------------- *)
+
+let va x = Term.Var x
+
+(* t(A) :- p(A,B): the simplest acyclic join over the pq world *)
+let p_clause =
+  Clause.make (Atom.make "t" [ va "A" ]) [ Atom.make "p" [ va "A"; va "B" ] ]
+
+let patterns_of clause =
+  List.map Planner.pattern_of_atom (clause.Clause.head :: clause.Clause.body)
+
+let edge_suite =
+  [
+    tc "semijoin_batch: empty example list yields an empty answer"
+      (fun () ->
+        let inst, examples = random_problem 11 in
+        let cov = Coverage.build ~params:Bottom.default_params inst examples in
+        let store = Option.get (Coverage.store cov) in
+        let res =
+          Algebra.semijoin_batch store ~patterns:(patterns_of p_clause)
+            ~eids:[||]
+        in
+        check Alcotest.(list bool) "no answers" [] (Array.to_list res));
+    tc "semijoin_batch: duplicate example ids answer like singletons"
+      (fun () ->
+        let inst, examples = random_problem 13 in
+        let cov = Coverage.build ~params:Bottom.default_params inst examples in
+        let store = Option.get (Coverage.store cov) in
+        let patterns = patterns_of p_clause in
+        let single e =
+          (Algebra.semijoin_batch store ~patterns ~eids:[| e |]).(0)
+        in
+        let res =
+          Algebra.semijoin_batch store ~patterns ~eids:[| 0; 1; 0; 2; 0 |]
+        in
+        check
+          Alcotest.(list bool)
+          "each duplicate slot answered independently"
+          [ single 0; single 1; single 0; single 2; single 0 ]
+          (Array.to_list res);
+        (* and the duplicates pin against the subsumption oracle *)
+        Coverage.set_cache cov false;
+        check Alcotest.bool "slot 0 == Subsume" (Coverage.covers cov p_clause 0)
+          res.(0));
+    tc "semijoin_batch: zero-tuple body relation matches subsumption"
+      (fun () ->
+        (* a world where q is empty: any clause mentioning q covers
+           nothing, on both evaluation paths *)
+        let inst = Instance.create pq_schema in
+        let c i = Value.str (Printf.sprintf "c%d" i) in
+        Instance.add inst "p" (Tuple.of_list [ c 0; c 1 ]);
+        Instance.add inst "p" (Tuple.of_list [ c 1; c 2 ]);
+        let examples =
+          Array.init 3 (fun i -> Atom.of_tuple "t" (Tuple.of_list [ c i ]))
+        in
+        let cov = Coverage.build ~params:Bottom.default_params inst examples in
+        let clause =
+          Clause.make
+            (Atom.make "t" [ va "A" ])
+            [ Atom.make "p" [ va "A"; va "B" ]; Atom.make "q" [ va "A"; va "B" ] ]
+        in
+        let vb, vs = both cov clause in
+        check Alcotest.(list bool) "agree" vs vb;
+        check Alcotest.(list bool) "all uncovered" [ false; false; false ] vb);
+  ]
+
+(* ---------------- mutation invalidates the memo -------------------- *)
+
+let mutation_suite =
+  [
+    tc "instance mutation between covers calls invalidates the memo"
+      (fun () ->
+        let inst = Instance.create pq_schema in
+        let c i = Value.str (Printf.sprintf "c%d" i) in
+        Instance.add inst "p" (Tuple.of_list [ c 0; c 1 ]);
+        let examples =
+          [| Atom.of_tuple "t" (Tuple.of_list [ c 0 ]);
+             Atom.of_tuple "t" (Tuple.of_list [ c 1 ]) |]
+        in
+        let cov = Coverage.build ~params:Bottom.default_params inst examples in
+        (* cache stays ON: the stale-memo bug this regresses was the
+           cached vector surviving a mutation of the source instance *)
+        check Alcotest.(list bool) "before mutation" [ true; false ]
+          (Array.to_list (Coverage.vector cov p_clause));
+        check Alcotest.bool "covers agrees" true (Coverage.covers cov p_clause 0);
+        (* mutate: now c1 also has an outgoing p edge *)
+        Instance.add inst "p" (Tuple.of_list [ c 1; c 0 ]);
+        check Alcotest.(list bool) "after add" [ true; true ]
+          (Array.to_list (Coverage.vector cov p_clause));
+        check Alcotest.bool "covers sees the new tuple" true
+          (Coverage.covers cov p_clause 1);
+        (* and deletion flows through too *)
+        ignore (Instance.remove_tuple inst "p" (Tuple.of_list [ c 0; c 1 ]));
+        check Alcotest.(list bool) "after remove" [ false; true ]
+          (Array.to_list (Coverage.vector cov p_clause));
+        check Alcotest.bool "covers sees the deletion" false
+          (Coverage.covers cov p_clause 0));
+    tc "store-backed coverage refreshes from the live instance too"
+      (fun () ->
+        let inst = Instance.create pq_schema in
+        let c i = Value.str (Printf.sprintf "c%d" i) in
+        Instance.add inst "p" (Tuple.of_list [ c 0; c 1 ]);
+        let examples = [| Atom.of_tuple "t" (Tuple.of_list [ c 1 ]) |] in
+        let cov =
+          Coverage.build ~params:Bottom.default_params
+            ~backend:(Backend.Sharded 2) inst examples
+        in
+        check Alcotest.bool "uncovered before" false
+          (Coverage.covers cov p_clause 0);
+        Instance.add inst "p" (Tuple.of_list [ c 1; c 2 ]);
+        check Alcotest.bool "covered after the shard-backed refresh" true
+          (Coverage.covers cov p_clause 0));
+  ]
+
+let suite =
+  family_suite @ random_suite @ forest_suite @ kernel_fallback_suite
+  @ edge_suite @ mutation_suite

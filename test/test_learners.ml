@@ -213,15 +213,31 @@ let registry_suite =
         let r = Learner.learn ~name:"golem" ~gate:`Strict p in
         check Alcotest.bool "learned" true
           (r.Learner.Report.definition.Clause.clauses <> []));
-    tc "deprecated aliases still compile and agree" (fun () ->
+    tc "registry entry agrees with the direct entry point" (fun () ->
         let p = problem () in
-        let def = (Foil.learn_with_params [@alert "-deprecated"]) p in
+        let def = (Learner.learn ~name:"foil" p).Learner.Report.definition in
         let def' = Foil.learn p in
         check
           Alcotest.(list string)
-          "alias == original"
+          "registry == direct"
           (List.map Clause.to_string def'.Clause.clauses)
           (List.map Clause.to_string def.Clause.clauses));
+    tc "config.backend re-bases the run without changing the result"
+      (fun () ->
+        let p = problem () in
+        let on backend =
+          let r =
+            Learner.learn ~name:"foil"
+              ~config:{ Learner.default_config with Learner.backend }
+              p
+          in
+          List.map Clause.to_string r.Learner.Report.definition.Clause.clauses
+        in
+        let base = on None in
+        check Alcotest.(list string) "flat instance" base
+          (on (Some Castor_relational.Backend.Flat));
+        check Alcotest.(list string) "store:2" base
+          (on (Some (Castor_relational.Backend.Sharded 2))));
   ]
 
 let suite =
