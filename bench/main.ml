@@ -5,7 +5,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe table9     -- one experiment
      (ids: table9 table10 table11 table12 table13 fig2 fig3 ex11
-           ablation coverage_batch planner sensitivity micro)
+           ablation coverage_batch planner sensitivity fuzz micro)
 
    Scale note: the datasets are synthetic, laptop-sized equivalents of
    the paper's (DESIGN.md, "Substitutions"); absolute numbers differ
@@ -536,6 +536,46 @@ let sensitivity () =
           [ 2; 5; 10 ]))
 
 (* ------------------------------------------------------------------ *)
+(* Schema-variant fuzzing: the independence claim on generated worlds  *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz () =
+  section
+    "Fuzz -- zero-config schema-variant fuzzing: induced bias, generated \
+     variants, independence sweep";
+  let open Castor_fuzz in
+  let run ds config =
+    let t0 = Unix.gettimeofday () in
+    let report = Fuzz.run ~config ds in
+    let dt = Unix.gettimeofday () -. t0 in
+    Fmt.pr "@.%s: %d generated variants, %d runs, %.1f s@."
+      report.Fuzz.rp_dataset
+      (List.length report.Fuzz.rp_variants)
+      (List.length report.Fuzz.rp_runs)
+      dt;
+    List.iter
+      (fun (v : Sweep.verdict) ->
+        if v.Sweep.v_equivalent then
+          Fmt.pr "  %-12s %-10s schema independent@." v.Sweep.v_learner
+            v.Sweep.v_backend
+        else
+          Fmt.pr "  %-12s %-10s DIVERGES on %s@." v.Sweep.v_learner
+            v.Sweep.v_backend
+            (String.concat ", " v.Sweep.v_diverging))
+      report.Fuzz.rp_verdicts;
+    List.iter
+      (fun cx -> Fmt.pr "@.%a@." Shrink.pp_counterexample cx)
+      report.Fuzz.rp_counterexamples
+  in
+  (* family: cheap, and FOIL's schema dependence shows (with the
+     shrinker reducing the failure to a minimal variant + clause) *)
+  run (Family.generate ())
+    { Fuzz.default_config with Fuzz.learners = [ "castor" ; "foil" ]; budget = 4 };
+  (* uwcse: the full zero-config pipeline at the acceptance budget *)
+  run (Uwcse.generate ())
+    { Fuzz.default_config with Fuzz.learners = [ "castor" ]; budget = 8 }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -613,6 +653,7 @@ let all =
     ("coverage_batch", coverage_batch);
     ("planner", planner);
     ("sensitivity", sensitivity);
+    ("fuzz", fuzz);
     ("micro", micro);
   ]
 

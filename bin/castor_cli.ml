@@ -469,6 +469,126 @@ let analyze_cmd =
       $ Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalog and exit.")
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text."))
 
+(* ----------------------------- fuzz ------------------------------ *)
+
+let fuzz dataset seed budget max_depth learners backends no_induce no_shrink
+    json out expect =
+  let module Fuzz = Castor_fuzz.Fuzz in
+  let module Sweep = Castor_fuzz.Sweep in
+  let module Shrink = Castor_fuzz.Shrink in
+  let ds = dataset_of_name dataset in
+  let learners =
+    match learners with
+    | [] -> Learner.names ()
+    | ls ->
+        List.iter (fun l -> ignore (algo_of_name l)) ls;
+        ls
+  in
+  let backends =
+    match backends with
+    | [] -> [ None ]
+    | bs -> List.map (fun b -> Some (backend_of_string b)) bs
+  in
+  let config =
+    {
+      Fuzz.seed;
+      budget;
+      max_depth;
+      learners;
+      backends;
+      induce = not no_induce;
+      shrink = not no_shrink;
+    }
+  in
+  let report = Fuzz.run ~config ds in
+  let doc = Fuzz.report_to_json report in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc doc;
+      output_char oc '\n';
+      close_out oc)
+    out;
+  if json then print_endline doc
+  else begin
+    Fmt.pr "fuzz %s: seed %d, %d generated variant(s)@." dataset seed
+      (List.length report.Fuzz.rp_variants);
+    Option.iter
+      (fun b -> Fmt.pr "induced bias: %a@." Castor_fuzz.Bias.pp b)
+      report.Fuzz.rp_bias;
+    List.iter
+      (fun (name, ops) -> Fmt.pr "  %s: %a@." name Transform.pp ops)
+      report.Fuzz.rp_variants;
+    List.iter
+      (fun (v : Sweep.verdict) ->
+        Fmt.pr "%s [%s]: %s@." v.Sweep.v_learner v.Sweep.v_backend
+          (if v.Sweep.v_equivalent then "data-equivalent on all variants"
+           else "DIVERGES on " ^ String.concat ", " v.Sweep.v_diverging))
+      report.Fuzz.rp_verdicts;
+    List.iter
+      (fun cx -> Fmt.pr "@.%a@." Shrink.pp_counterexample cx)
+      report.Fuzz.rp_counterexamples
+  end;
+  let broken =
+    List.filter (fun l -> not (Fuzz.independent report ~learner:l)) expect
+  in
+  if report.Fuzz.rp_backend_mismatches <> [] then begin
+    Fmt.epr "backend changes learner output: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (l, v) -> l ^ "/" ^ v)
+            report.Fuzz.rp_backend_mismatches));
+    exit 1
+  end;
+  if broken <> [] then begin
+    Fmt.epr "schema independence violated for: %s@." (String.concat ", " broken);
+    exit 1
+  end
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Zero-config schema-variant fuzzing: induce the language bias from \
+          the raw data, generate a seeded family of valid schema variants, \
+          sweep learners across variants and backends, and shrink any \
+          schema-independence failure to a minimal counterexample. Exits \
+          nonzero when an expected-independent learner diverges.")
+    Term.(
+      const fuzz $ dataset_arg
+      $ Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Generation and training seed.")
+      $ Arg.(
+          value & opt int 8
+          & info [ "budget" ] ~doc:"Maximum number of generated variants.")
+      $ Arg.(
+          value & opt int 2
+          & info [ "max-depth" ] ~doc:"Maximum chained transformations per variant.")
+      $ Arg.(
+          value & opt_all string []
+          & info [ "a"; "algo" ]
+              ~doc:"Learner to sweep (repeatable; default: every registered learner).")
+      $ Arg.(
+          value & opt_all string []
+          & info [ "backend" ]
+              ~doc:"Backend spec to sweep (repeatable; default: learner default).")
+      $ Arg.(
+          value & flag
+          & info [ "no-induce" ]
+              ~doc:"Keep the dataset's hand-written bias instead of re-inducing it.")
+      $ Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report to stdout.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "o"; "out" ] ~doc:"Also write the JSON report to $(docv)." ~docv:"FILE")
+      $ Arg.(
+          value
+          & opt_all string [ "castor" ]
+          & info [ "expect-independent" ]
+              ~doc:
+                "Learner that must be schema independent (repeatable); a \
+                 divergence makes the command fail."))
+
 (* ----------------------------------------------------------------- *)
 
 let () =
@@ -478,5 +598,5 @@ let () =
        (Cmd.group (Cmd.info "castor" ~doc)
           [
             learn_cmd; schemas_cmd; transform_cmd; oracle_cmd; export_cmd;
-            import_cmd; sql_cmd; discover_cmd; stats_cmd; analyze_cmd;
+            import_cmd; sql_cmd; discover_cmd; stats_cmd; analyze_cmd; fuzz_cmd;
           ]))

@@ -55,6 +55,20 @@ let variant_named t name =
 (** [all_variants t] materializes every variant, in declared order. *)
 let all_variants t = List.map (fun (n, _) -> variant_named t n) t.variants
 
+(** [strip_bias t] forgets everything a curator hand-wrote beyond the
+    raw data: constant pools, frontier filters, schema variants and
+    the golden definition. What remains is exactly what a constraint-
+    less dump provides — the zero-config entry point of the fuzzing
+    harness, which must re-induce all of it (AutoMode-style). *)
+let strip_bias t =
+  {
+    t with
+    const_pool = [];
+    no_expand_domains = [];
+    variants = [ ("base", []) ];
+    golden = None;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Import / export                                                     *)
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,161 @@
+(** Zero-config language-bias induction.
+
+    The fuzzing harness must work from a raw dataset with no mode
+    declarations (Section 9.1.1's HIV situation: "stored in flat files
+    and does not have any information about its constraints"). This
+    module reconstructs everything the curated datasets hand-write:
+
+    - schema constraints, via {!Castor_relational.Discovery.annotate}
+      when the schema declares none;
+    - constant pools and frontier filters, via
+      {!Castor_datasets.Dataset.derive_value_domains} (value
+      selectivity);
+    - mode declarations, via the AutoMode-style
+      {!Castor_analysis.Modes.infer} over the (possibly enriched)
+      schema.
+
+    The result is a new {!Castor_datasets.Dataset.t} carrying the
+    induced bias, plus a summary of what was induced. *)
+
+open Castor_relational
+module Modes = Castor_analysis.Modes
+module Dataset = Castor_datasets.Dataset
+module Obs = Castor_obs.Obs
+
+let c_discovered_fds = Obs.Counter.create "fuzz.bias.discovered_fds"
+let c_discovered_inds = Obs.Counter.create "fuzz.bias.discovered_inds"
+
+type t = {
+  discovered_fds : int;  (** FDs added by dependency discovery *)
+  discovered_inds : int;  (** INDs added by dependency discovery *)
+  join_domains : string list;  (** expandable entity-key domains *)
+  const_domains : string list;  (** categorical domains (get a pool) *)
+  no_expand_domains : string list;  (** kept off the frontier *)
+  modes : Modes.t list;  (** inferred mode declarations *)
+}
+
+(* rebuild an instance under an enriched schema (same tuples) *)
+let rekey schema inst =
+  let out = Instance.create schema in
+  List.iter
+    (fun rel ->
+      List.iter (fun tu -> Instance.add out rel tu) (Instance.tuples inst rel))
+    (Instance.relation_names inst);
+  out
+
+(** [induce ?discover ?threshold ds] induces the full language bias
+    for [ds] treated as raw data. [discover] controls dependency
+    discovery: [`Auto] (default) runs it only when the schema declares
+    no FDs and no INDs, [`Always] always, [`Never] never.
+    [threshold] is the categorical-domain selectivity cutoff of
+    {!Dataset.derive_value_domains}; [numeric_threshold] (default 8)
+    is the stricter cutoff for all-numeric domains. *)
+let induce ?(discover = `Auto) ?threshold ?(numeric_threshold = 8)
+    (ds : Dataset.t) =
+  let base = ds.Dataset.schema in
+  let run_discovery =
+    match discover with
+    | `Always -> true
+    | `Never -> false
+    | `Auto -> base.Schema.fds = [] && base.Schema.inds = []
+  in
+  let schema =
+    if run_discovery then Discovery.annotate ds.Dataset.instance else base
+  in
+  let instance =
+    if schema == base then ds.Dataset.instance else rekey schema ds.Dataset.instance
+  in
+  let cat, _ent = Dataset.derive_value_domains ?threshold instance in
+  (* Join domains — IND positions and the target's own attribute
+     domains — are entity keys and must stay expandable no matter how
+     few distinct values they have, or the relations they link become
+     unreachable from any clause body (AutoMode marks them [+]).
+     Every other domain is descriptive: expanding the frontier through
+     it only manufactures accidental joins (two movies sharing a
+     title), so it goes in the frontier filter; its low-cardinality
+     subset doubles as the constant pool for top-down learners. *)
+  let join_domains =
+    let of_attr rel a =
+      let r = Schema.find_relation schema rel in
+      List.filter_map
+        (fun (at : Schema.attribute) ->
+          if String.equal at.Schema.aname a then Some at.Schema.domain else None)
+        r.Schema.attrs
+    in
+    List.concat_map
+      (fun (i : Schema.ind) ->
+        List.concat_map (of_attr i.Schema.sub_rel) i.Schema.sub_attrs
+        @ List.concat_map (of_attr i.Schema.sup_rel) i.Schema.sup_attrs)
+      schema.Schema.inds
+    @ List.map
+        (fun (a : Schema.attribute) -> a.Schema.domain)
+        ds.Dataset.target.Schema.attrs
+    |> List.sort_uniq compare
+  in
+  let no_expand =
+    List.filter
+      (fun d -> not (List.mem d join_domains))
+      (Modes.all_domains schema)
+  in
+  (* Numeric domains get a much stricter pool cutoff than symbolic
+     ones: a number drawn from a handful of values (bond type 1–3,
+     year-in-program 1–7) is a categorical code, but a dozen-plus
+     distinct numbers (release years, measurements) behave like a
+     continuous attribute — equality with one specific value is rarely
+     a meaningful test, and un-generalizable numeric constants push
+     the learner into huge overfit clauses whose truncated saturations
+     are schema sensitive (AutoMode treats numeric attributes
+     separately for the same reason). Withheld domains stay in the
+     frontier filter; only the pool is dropped. *)
+  let numeric vs =
+    vs <> []
+    && List.for_all
+         (fun v -> Option.is_some (float_of_string_opt (Value.to_string v)))
+         vs
+  in
+  let const_pool =
+    List.filter
+      (fun (d, vs) ->
+        List.mem d no_expand
+        && ((not (numeric vs)) || List.length vs <= numeric_threshold))
+      cat
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let const_domains = List.map fst const_pool in
+  let modes = Modes.infer ~const_domains:no_expand schema in
+  let d_fds = List.length schema.Schema.fds - List.length base.Schema.fds in
+  let d_inds = List.length schema.Schema.inds - List.length base.Schema.inds in
+  Obs.Counter.add c_discovered_fds d_fds;
+  Obs.Counter.add c_discovered_inds d_inds;
+  let bias =
+    {
+      discovered_fds = d_fds;
+      discovered_inds = d_inds;
+      join_domains;
+      const_domains;
+      no_expand_domains = no_expand;
+      modes;
+    }
+  in
+  let ds' =
+    {
+      ds with
+      Dataset.schema;
+      instance;
+      const_pool;
+      no_expand_domains = no_expand;
+    }
+  in
+  (ds', bias)
+
+let pp ppf b =
+  Fmt.pf ppf
+    "@[<v>discovered: %d FDs, %d INDs@,join domains: %a@,frontier filter: \
+     %a@,modes:@,%a@]"
+    b.discovered_fds b.discovered_inds
+    Fmt.(list ~sep:comma string)
+    b.join_domains
+    Fmt.(list ~sep:comma string)
+    b.no_expand_domains
+    Fmt.(list ~sep:cut (fun ppf m -> pf ppf "  %a" Modes.pp m))
+    b.modes

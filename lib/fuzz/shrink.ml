@@ -1,0 +1,169 @@
+(** QCheck-style property driver with shrinking.
+
+    The property under test is schema independence: a learner's
+    coverage signature on a variant equals its signature on the base
+    schema. When it fails, the failure is shrunk to a minimal
+    counterexample on two axes:
+
+    - the {e transformation} is minimized: the shortest subsequence of
+      the variant's operations that still diverges (each candidate
+      subsequence is re-vetted by {!Vargen.validate} before re-running
+      the learner);
+    - the {e clause} is minimized: a clause of the diverging
+      definition that covers the witness example is greedily stripped
+      of body literals as long as its whole data behavior (coverage
+      over all positives and negatives) is unchanged — the smallest
+      clause that still exhibits the divergent classification.
+
+    The result carries the witness example, the polarity, the side
+    that covers it, and the seed, so a CI failure reproduces locally
+    with one environment variable. *)
+
+open Castor_relational
+open Castor_logic
+open Castor_ilp
+module Dataset = Castor_datasets.Dataset
+module Experiment = Castor_eval.Experiment
+module Algos = Castor_eval.Algos
+module Obs = Castor_obs.Obs
+
+let c_shrinks = Obs.Counter.create "fuzz.shrink.runs"
+let c_steps = Obs.Counter.create "fuzz.shrink.steps"
+
+type counterexample = {
+  cx_dataset : string;
+  cx_learner : string;
+  cx_variant : string;  (** name of the originally-diverging variant *)
+  cx_ops : Transform.t;  (** minimal diverging transformation *)
+  cx_side : [ `Base | `Variant ];  (** which schema covers the witness *)
+  cx_positive : bool;  (** witness drawn from the positive examples *)
+  cx_example : Atom.t;  (** the witness example *)
+  cx_clause : Clause.t;  (** minimal clause covering the witness *)
+  cx_seed : int;
+  cx_steps : int;  (** learner/coverage re-runs spent shrinking *)
+}
+
+let pp_counterexample ppf cx =
+  Fmt.pf ppf
+    "@[<v>%s on %s diverges at variant %s@,minimal ops: %a@,witness: %s %a \
+     (covered on %s schema only)@,minimal clause: %a@,seed %d, %d shrink steps@]"
+    cx.cx_learner cx.cx_dataset cx.cx_variant Transform.pp cx.cx_ops
+    (if cx.cx_positive then "positive" else "negative")
+    Atom.pp cx.cx_example
+    (match cx.cx_side with `Base -> "base" | `Variant -> "variant")
+    Clause.pp cx.cx_clause cx.cx_seed cx.cx_steps
+
+(* proper non-empty subsequences of [l], shortest first *)
+let proper_subsequences l =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let w = go rest in
+        w @ List.map (fun s -> x :: s) w
+  in
+  go l
+  |> List.filter (fun s -> s <> [] && List.length s < List.length l)
+  |> List.sort (fun a b -> compare (List.length a) (List.length b))
+
+let drop_at i l = List.filteri (fun j _ -> j <> i) l
+
+(** [falsify ?seed ~learner ds] — run the schema-independence property
+    for [learner] over the variants already present in [ds] (base
+    first). Returns [None] when every variant's signature matches the
+    base (the property holds), or [Some cx] with a fully shrunk
+    counterexample. *)
+let falsify ?(seed = 17) ~learner (ds : Dataset.t) =
+  let algo = Algos.of_name learner in
+  let base = fst (List.hd ds.Dataset.variants) in
+  let prep_b = Experiment.prepare ds base in
+  let def_b = Experiment.train_full ~seed prep_b algo in
+  let sig_b = Experiment.signature prep_b def_b in
+  let steps = ref 0 in
+  let train ops =
+    incr steps;
+    Obs.Counter.incr c_steps;
+    let ds' = { ds with Dataset.variants = [ ("cand", ops) ] } in
+    let prep = Experiment.prepare ds' "cand" in
+    let def = Experiment.train_full ~seed prep algo in
+    (prep, def, Experiment.signature prep def)
+  in
+  let diverges ops =
+    match Vargen.validate ds ops with
+    | Error _ -> None
+    | Ok _ ->
+        let ((_, _, s) as r) = train ops in
+        if s <> sig_b then Some r else None
+  in
+  let rec first_failure = function
+    | [] -> None
+    | (vn, ops) :: rest ->
+        if vn = base then first_failure rest
+        else (
+          match diverges ops with
+          | Some r -> Some (vn, ops, r)
+          | None -> first_failure rest)
+  in
+  match first_failure ds.Dataset.variants with
+  | None -> None
+  | Some (vname, ops, r0) ->
+      Obs.Counter.incr c_shrinks;
+      (* axis 1: minimal diverging transformation *)
+      let ops_min, (prep_v, def_v, sig_v) =
+        match
+          List.find_map
+            (fun o -> Option.map (fun r -> (o, r)) (diverges o))
+            (proper_subsequences ops)
+        with
+        | Some x -> x
+        | None -> (ops, r0)
+      in
+      (* the witness: first example the two signatures classify apart *)
+      let idx = ref 0 in
+      while sig_v.(!idx) = sig_b.(!idx) do incr idx done;
+      let idx = !idx in
+      let side = if sig_v.(idx) then `Variant else `Base in
+      let prep, def =
+        match side with `Variant -> (prep_v, def_v) | `Base -> (prep_b, def_b)
+      in
+      let n_pos = Coverage.length prep.Experiment.all_pos in
+      let positive = idx < n_pos in
+      let cov = if positive then prep.Experiment.all_pos else prep.Experiment.all_neg in
+      let j = if positive then idx else idx - n_pos in
+      let example = cov.Coverage.examples.(j) in
+      (* axis 2: minimal clause with unchanged data behavior *)
+      let behavior c =
+        ( Coverage.vector prep.Experiment.all_pos c,
+          Coverage.vector prep.Experiment.all_neg c )
+      in
+      let clause0 =
+        List.find
+          (fun c -> (Coverage.vector cov c).(j))
+          def.Clause.clauses
+      in
+      let b0 = behavior clause0 in
+      let rec prune (c : Clause.t) =
+        let n = List.length c.Clause.body in
+        let rec try_drop i =
+          if i >= n then None
+          else begin
+            incr steps;
+            Obs.Counter.incr c_steps;
+            let c' = Clause.make c.Clause.head (drop_at i c.Clause.body) in
+            if behavior c' = b0 then Some c' else try_drop (i + 1)
+          end
+        in
+        match try_drop 0 with Some c' -> prune c' | None -> c
+      in
+      Some
+        {
+          cx_dataset = ds.Dataset.name;
+          cx_learner = learner;
+          cx_variant = vname;
+          cx_ops = ops_min;
+          cx_side = side;
+          cx_positive = positive;
+          cx_example = example;
+          cx_clause = prune clause0;
+          cx_seed = seed;
+          cx_steps = !steps;
+        }

@@ -1,0 +1,361 @@
+(** Seeded, budgeted generation of valid schema variants.
+
+    Candidate composition/decomposition operations are enumerated from
+    the schema's FD/IND metadata — compositions from the inclusion
+    classes (the {!Castor_relational.Normalize.compose_advisor}
+    fragment, generalized to subsets of each class), decompositions
+    from BCNF analysis and pivot splits — then chained up to a depth
+    bound. Every candidate chain is vetted before use:
+
+    + the Definition 4.1 transformation lints
+      ({!Castor_analysis.Analyze.transform}) must report no errors;
+    + the resulting schema must pass the schema lints and keep the
+      learning problem well-moded ({!Castor_analysis.Modes.lint_config});
+    + the transformation must round-trip on the actual instance
+      ([τ⁻¹(τ(I)) = I], {!Castor_relational.Transform.round_trips}) —
+      the data-level half of information equivalence.
+
+    Variants are deduplicated by a name-insensitive schema signature,
+    so renaming-only differences (a composed relation called [person]
+    vs [gender]) collapse to one variant, matching the paper's view
+    that information equivalence is about sorts and dependencies, not
+    relation names. *)
+
+open Castor_relational
+module Analyze = Castor_analysis.Analyze
+module Diagnostic = Castor_analysis.Diagnostic
+module Modes = Castor_analysis.Modes
+module Dataset = Castor_datasets.Dataset
+module Obs = Castor_obs.Obs
+
+let c_candidates = Obs.Counter.create "fuzz.vargen.candidates"
+let c_generated = Obs.Counter.create "fuzz.vargen.generated"
+let c_rejected = Obs.Counter.create "fuzz.vargen.rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Schema signatures: name-insensitive structural identity             *)
+(* ------------------------------------------------------------------ *)
+
+(** [schema_signature s] is a canonical string identifying [s] up to
+    relation naming and relation/attribute order: the sorted multiset
+    of sorted [attr:domain] lists. *)
+let schema_signature (s : Schema.t) =
+  List.map
+    (fun (r : Schema.relation) ->
+      List.map
+        (fun (a : Schema.attribute) -> a.Schema.aname ^ ":" ^ a.Schema.domain)
+        r.Schema.attrs
+      |> List.sort compare |> String.concat ",")
+    s.Schema.relations
+  |> List.sort compare |> String.concat ";"
+
+(* ------------------------------------------------------------------ *)
+(* Candidate operations                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* non-empty subsets of [l] with 2 <= size <= k, preserving order *)
+let subsets_2_to k l =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let without = go rest in
+        without @ List.map (fun s -> x :: s) without
+  in
+  List.filter (fun s -> List.length s >= 2 && List.length s <= k) (go l)
+
+(* order class members so consecutive parts share attributes (the
+   compose_advisor chain ordering); None when disconnected *)
+let chain_order (schema : Schema.t) cls =
+  let rec order acc remaining =
+    match remaining with
+    | [] -> Some (List.rev acc)
+    | _ -> (
+        let joins r =
+          match acc with
+          | [] -> true
+          | _ ->
+              List.exists
+                (fun p ->
+                  Schema.shared_attrs
+                    (Schema.find_relation schema p)
+                    (Schema.find_relation schema r)
+                  <> [])
+                acc
+        in
+        match List.partition joins remaining with
+        | next :: rest_joinable, rest -> order (next :: acc) (rest_joinable @ rest)
+        | [], _ -> None)
+  in
+  order [] cls
+
+(** Compositions: for every subset (size 2–4) of every inclusion
+    class whose members pairwise join safely (every shared attribute
+    covered by the column equivalence of the equality INDs) and whose
+    join is acyclic, compose the members in chain order into the first
+    member. Subsumes {!Normalize.compose_advisor}'s proposals. *)
+let compose_candidates (schema : Schema.t) =
+  let inc = Inclusion.build ~mode:`Equality_only schema in
+  let col_class = Normalize.column_classes schema in
+  let pair_ok r s_ =
+    let shared =
+      Schema.shared_attrs (Schema.find_relation schema r) (Schema.find_relation schema s_)
+    in
+    List.for_all (fun a -> col_class (r, a) = col_class (s_, a)) shared
+  in
+  let rec pairwise_ok = function
+    | [] | [ _ ] -> true
+    | r :: rest -> List.for_all (pair_ok r) rest && pairwise_ok rest
+  in
+  List.concat_map
+    (fun cls ->
+      List.filter_map
+        (fun sub ->
+          if not (pairwise_ok sub) then None
+          else if not (Hypergraph.is_acyclic (List.map (Schema.sort schema) sub))
+          then None
+          else
+            match chain_order schema sub with
+            | Some parts -> Some (Transform.Compose { parts; into = List.hd parts })
+            | None -> None)
+        (subsets_2_to 4 cls))
+    (Inclusion.classes inc)
+
+(* fresh part names rel_i, rel_{i+1} not clashing with the schema *)
+let fresh_pair schema rel =
+  let rec go i =
+    let n1 = Printf.sprintf "%s_%d" rel i
+    and n2 = Printf.sprintf "%s_%d" rel (i + 1) in
+    if Schema.mem_relation schema n1 || Schema.mem_relation schema n2 then
+      go (i + 2)
+    else (n1, n2)
+  in
+  go 1
+
+(** Decompositions of each relation:
+
+    - the BCNF decomposition proposed by {!Normalize.bcnf_decompose};
+    - binary pivot splits: for each pivot (a candidate key, or any
+      single attribute), partition the remaining attributes into two
+      non-empty blocks, each part keeping the pivot and its block in
+      original column order (the HIV [bonds → bondSource/bondTarget]
+      shape).
+
+    Both parts are always {e proper} subsets of the sort. Degenerate
+    "decompositions" where one part is the whole relation (splitting
+    off a redundant projection) are information preserving but outside
+    the paper's decomposition fragment, and resource-bounded
+    saturation is measurably sensitive to the redundant relation they
+    add — the fuzzer found exactly that before this restriction. *)
+let decompose_candidates (schema : Schema.t) =
+  List.concat_map
+    (fun (r : Schema.relation) ->
+      let rel = r.Schema.rname in
+      let sort = Schema.sort schema rel in
+      let n = List.length sort in
+      if n < 2 || n > 6 then []
+      else begin
+        let fds =
+          List.filter
+            (fun (fd : Schema.fd) -> String.equal fd.Schema.fd_rel rel)
+            schema.Schema.fds
+        in
+        let keys =
+          if fds = [] then []
+          else List.filter (fun k -> List.length k < n) (Normalize.candidate_keys fds ~sort)
+        in
+        let pivots =
+          List.sort_uniq compare (List.map (fun a -> [ a ]) sort @ keys)
+        in
+        let n1, n2 = fresh_pair schema rel in
+        let in_order attrs = List.filter (fun a -> List.mem a attrs) sort in
+        let splits =
+          List.concat_map
+            (fun pivot ->
+              let rest = List.filter (fun a -> not (List.mem a pivot)) sort in
+              match rest with
+                | [] | [ _ ] -> []
+                | first :: others ->
+                    List.filter_map
+                      (fun block ->
+                        let b1 = first :: block in
+                        let b2 = List.filter (fun a -> not (List.mem a b1)) others in
+                        if b2 = [] then None
+                        else
+                          Some
+                            (Transform.Decompose
+                               {
+                                 rel;
+                                 parts =
+                                   [
+                                     (n1, in_order (pivot @ b1));
+                                     (n2, in_order (pivot @ b2));
+                                   ];
+                               }))
+                      (let rec subs = function
+                         | [] -> [ [] ]
+                         | x :: rest ->
+                             let w = subs rest in
+                             w @ List.map (fun s -> x :: s) w
+                       in
+                       subs others))
+            pivots
+        in
+        Option.to_list (Normalize.bcnf_decompose schema rel) @ splits
+      end)
+    schema.Schema.relations
+
+let candidate_ops schema = compose_candidates schema @ decompose_candidates schema
+
+(* ------------------------------------------------------------------ *)
+(* Validation: Def 4.1 lints, schema/mode lints, instance round trip   *)
+(* ------------------------------------------------------------------ *)
+
+type rejection =
+  | Transform_lint of string
+  | Schema_lint of string
+  | Mode_lint of string
+  | Apply_failed of string
+  | Not_invertible
+  | Duplicate
+
+let rejection_to_string = function
+  | Transform_lint m -> "transform-lint: " ^ m
+  | Schema_lint m -> "schema-lint: " ^ m
+  | Mode_lint m -> "mode-lint: " ^ m
+  | Apply_failed m -> "apply: " ^ m
+  | Not_invertible -> "not-invertible"
+  | Duplicate -> "duplicate"
+
+let first_error ds =
+  match List.find_opt (fun d -> d.Diagnostic.severity = Diagnostic.Error) ds with
+  | Some d -> d.Diagnostic.message
+  | None -> ""
+
+(** [validate ds ops] runs the full vetting pipeline on a candidate
+    transformation chain over the dataset's base schema and instance.
+    Returns the transformed schema on success. *)
+let validate (ds : Dataset.t) (ops : Transform.t) =
+  let base = ds.Dataset.schema in
+  let tdiags = Analyze.transform base ops in
+  if Diagnostic.has_errors tdiags then Error (Transform_lint (first_error tdiags))
+  else
+    match Transform.apply_schema base ops with
+    | exception Transform.Illegal m -> Error (Apply_failed m)
+    | exception Invalid_argument m -> Error (Apply_failed m)
+    | s' ->
+        let sdiags = Analyze.schema s' in
+        if Diagnostic.has_errors sdiags then Error (Schema_lint (first_error sdiags))
+        else
+          let mdiags =
+            Modes.lint_config
+              ~const_domains:ds.Dataset.no_expand_domains
+              ~target:ds.Dataset.target
+              ~const_pool_domains:(List.map fst ds.Dataset.const_pool)
+              ~no_expand_domains:ds.Dataset.no_expand_domains s'
+          in
+          if Diagnostic.has_errors mdiags then Error (Mode_lint (first_error mdiags))
+          else if
+            (* AutoMode learnability: a relation whose inferred mode has
+               no input position can never be joined into a safe body —
+               a transformation introducing one (beyond any the base
+               schema already had) degrades the language *)
+            (let no_input schema =
+               List.filter_map
+                 (fun (m : Modes.t) ->
+                   if
+                     m.Modes.args <> []
+                     && not
+                          (List.exists (fun a -> a.Modes.io = Modes.Input) m.Modes.args)
+                   then Some m.Modes.rel
+                   else None)
+                 (Modes.infer ~const_domains:ds.Dataset.no_expand_domains schema)
+             in
+             let before = no_input base in
+             List.exists (fun r -> not (List.mem r before)) (no_input s'))
+          then Error (Mode_lint "relation with no input positions")
+          else
+            let ok =
+              try Transform.round_trips ds.Dataset.instance ops with
+              | Transform.Illegal _ | Invalid_argument _ | Not_found -> false
+            in
+            if ok then Ok s' else Error Not_invertible
+
+(* ------------------------------------------------------------------ *)
+(* Seeded, budgeted breadth-first generation                           *)
+(* ------------------------------------------------------------------ *)
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(** [generate ~seed ~budget ?max_depth ds] produces up to [budget]
+    distinct valid variants of [ds]'s base schema as named
+    transformation chains of length ≤ [max_depth] (default 2). The
+    candidate order is shuffled by [seed], so different seeds explore
+    different corners of the variant space; the same seed always
+    yields the same family. Returns [(name, ops)] pairs ready to
+    splice into [ds.variants]. *)
+let generate ~seed ~budget ?(max_depth = 2) (ds : Dataset.t) =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen (schema_signature ds.Dataset.schema) ();
+  let accepted = ref [] in
+  let count = ref 0 in
+  let frontier = ref [ ([], ds.Dataset.schema) ] in
+  (try
+     for _depth = 1 to max_depth do
+       let next = ref [] in
+       List.iter
+         (fun (ops, s) ->
+           List.iter
+             (fun op ->
+               if !count >= budget then raise Exit;
+               Obs.Counter.incr c_candidates;
+               let ops' = ops @ [ op ] in
+               match validate ds ops' with
+               | Error _ -> Obs.Counter.incr c_rejected
+               | Ok s' ->
+                   let sg = schema_signature s' in
+                   if Hashtbl.mem seen sg then Obs.Counter.incr c_rejected
+                   else begin
+                     Hashtbl.replace seen sg ();
+                     incr count;
+                     Obs.Counter.incr c_generated;
+                     accepted := (Printf.sprintf "fz%d" !count, ops') :: !accepted;
+                     next := (ops', s') :: !next
+                   end)
+             (shuffle rng (candidate_ops s)))
+         !frontier;
+       frontier := !next
+     done
+   with Exit -> ());
+  List.rev !accepted
+
+(** [reproduces ds tr] — can the candidate enumeration replay the
+    hand-coded transformation [tr] step by step? At each step some
+    candidate operation on the current schema must produce the same
+    schema signature as the hand-coded op does. Used by the
+    consistency tests pinning the generator's fragment against
+    [lib/datasets]. *)
+let reproduces (ds : Dataset.t) (tr : Transform.t) =
+  let rec go schema = function
+    | [] -> true
+    | op :: rest ->
+        let want = schema_signature (Transform.apply_op_schema schema op) in
+        let found =
+          List.exists
+            (fun cand ->
+              match Transform.apply_op_schema schema cand with
+              | exception _ -> false
+              | s' -> schema_signature s' = want)
+            (candidate_ops schema)
+        in
+        found && go (Transform.apply_op_schema schema op) rest
+  in
+  go ds.Dataset.schema tr

@@ -5,10 +5,39 @@ open Castor_logic
 
 let check = Alcotest.check
 
-let tc name f = Alcotest.test_case name `Quick f
+(* ---------------- one seed to rule the whole suite ---------------- *)
+
+(* Every random choice in the suite — QCheck generation included —
+   derives from this seed, so a CI failure reproduces locally by
+   exporting the same CASTOR_TEST_SEED. The seed is printed whenever a
+   test fails. *)
+let test_seed =
+  match Sys.getenv_opt "CASTOR_TEST_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "ignoring unparsable CASTOR_TEST_SEED=%S\n%!" s;
+          42)
+  | None -> 42
+
+(* a fresh deterministic state; [salt] decorrelates independent users *)
+let test_rng ?(salt = 0) () = Random.State.make [| test_seed; salt |]
+
+let note_seed_on_failure f () =
+  try f ()
+  with e ->
+    Printf.eprintf "test failed: reproduce with CASTOR_TEST_SEED=%d\n%!" test_seed;
+    raise e
+
+let tc name f = Alcotest.test_case name `Quick (note_seed_on_failure f)
 
 let qt ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+  let n, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(test_rng ~salt:99 ())
+      (QCheck2.Test.make ~count ~name gen prop)
+  in
+  (n, speed, note_seed_on_failure run)
 
 (* ---------------- fixed relational fixtures ---------------- *)
 

@@ -351,6 +351,40 @@ let test_mode_inference () =
         (Modes.to_string m)
   | ms -> Alcotest.failf "expected one mode, got %d" (List.length ms)
 
+let test_mode_polarity () =
+  (* one schema exercising every polarity source: "a" is a key, "p" an
+     IND position, "c"/"z" plain attributes; const_domains overrides *)
+  let s =
+    Schema.make
+      ~fds:[ { Schema.fd_rel = "r"; fd_lhs = [ "a" ]; fd_rhs = [ "c" ] } ]
+      ~inds:[ Schema.ind_subset "q" [ "p" ] "r" [ "a" ] ]
+      [
+        Schema.relation "r" [ at ~domain:"da" "a"; at ~domain:"dc" "c" ];
+        Schema.relation "q" [ at ~domain:"da" "p"; at ~domain:"dz" "z" ];
+      ]
+  in
+  let io rel attr const_domains =
+    let ms = Modes.infer ~const_domains s in
+    let m = List.find (fun (m : Modes.t) -> String.equal m.Modes.rel rel) ms in
+    (List.find
+       (fun (a : Modes.arg_mode) -> String.equal a.Modes.attr attr)
+       m.Modes.args)
+      .Modes.io
+  in
+  (* positive direction: keys and IND positions become inputs *)
+  check Alcotest.bool "key attr is input" true (io "r" "a" [] = Modes.Input);
+  check Alcotest.bool "ind attr is input" true (io "q" "p" [] = Modes.Input);
+  (* negative direction: plain attributes are outputs, never inputs *)
+  check Alcotest.bool "fd-rhs attr is output" true (io "r" "c" [] = Modes.Output);
+  check Alcotest.bool "plain attr is output" true (io "q" "z" [] = Modes.Output);
+  (* the constant override wins in both directions *)
+  check Alcotest.bool "const domain beats output" true
+    (io "r" "c" [ "dc" ] = Modes.Constant);
+  check Alcotest.bool "const domain beats input" true
+    (io "q" "p" [ "da" ] = Modes.Constant);
+  check Alcotest.bool "unrelated attrs untouched by the override" true
+    (io "q" "z" [ "dc" ] = Modes.Output)
+
 (* ---------------- source lints -------------------------------------- *)
 
 let test_source_lint () =
@@ -512,6 +546,8 @@ let suite =
     tc "mode/no-input-positions fires and stays quiet" test_mode_inputs;
     tc "mode/saturation-budget fires and stays quiet" test_mode_budget;
     tc "modes are inferred from the schema's fds" test_mode_inference;
+    tc "inferred polarity: inputs, outputs and the constant override"
+      test_mode_polarity;
     tc "backend/direct-instance-access fires and stays quiet" test_source_lint;
     tc "the rule catalog is consistent and 8+ rules fire" test_catalog;
     tc "the pre-learning gate rejects, warns and can be disabled"

@@ -21,4 +21,5 @@ let () =
       ("eval", Test_eval.suite);
       ("independence", Test_independence.suite);
       ("theorems", Test_theorems.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -144,4 +144,37 @@ let store_suite =
         check Alcotest.bool "consistent" true (Store.index_consistent st));
   ]
 
-let suite = instance_suite @ store_suite
+(* -------- Backend.spec: the string form carried by CLI flags ------- *)
+
+let spec_suite =
+  [
+    tc "Backend.spec_of_string parses every documented form" (fun () ->
+        let parses s expect =
+          check Alcotest.bool s true (Backend.spec_of_string s = expect)
+        in
+        parses "instance" Backend.Flat;
+        parses "flat" Backend.Flat;
+        parses "store" (Backend.Sharded Store.default_shards);
+        parses "store:1" (Backend.Sharded 1);
+        parses "store:4" (Backend.Sharded 4);
+        (* whitespace and case are forgiven: these arrive from shells *)
+        parses "  Store:2 " (Backend.Sharded 2);
+        parses "FLAT" Backend.Flat);
+    tc "Backend.spec_to_string round-trips through spec_of_string" (fun () ->
+        List.iter
+          (fun spec ->
+            let s = Backend.spec_to_string spec in
+            check Alcotest.bool (s ^ " round-trips") true
+              (Backend.spec_of_string s = spec))
+          [ Backend.Flat; Backend.Sharded 1; Backend.Sharded 4;
+            Backend.Sharded 64; Backend.default_spec ]);
+    tc "Backend.spec_of_string rejects malformed specs" (fun () ->
+        List.iter
+          (fun s ->
+            match Backend.spec_of_string s with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" s))
+          [ "store:0"; "store:-3"; "store:x"; "store:"; "shard:2"; "postgres"; "" ]);
+  ]
+
+let suite = instance_suite @ store_suite @ spec_suite
