@@ -639,6 +639,60 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+let analyze () =
+  section
+    "Analyze -- AST-level source lint over the project tree (state table, \
+     call graph, five rule passes)";
+  (* dune exec runs from the project root; when invoked from elsewhere,
+     the exe sits in <root>/_build/default/bench, so climb from there *)
+  let root =
+    if Sys.file_exists "lib" then "."
+    else
+      Filename.concat (Filename.dirname Sys.executable_name) "../../.."
+  in
+  let rec walk dir acc =
+    Array.fold_left
+      (fun acc entry ->
+        let p = Filename.concat dir entry in
+        match Sys.is_directory p with
+        | true -> walk p acc
+        | false -> if Filename.check_suffix p ".ml" then p :: acc else acc
+        | exception Sys_error _ -> acc)
+      acc (Sys.readdir dir)
+  in
+  let dirs =
+    List.filter
+      (fun d -> Sys.file_exists (Filename.concat root d))
+      [ "lib"; "bin"; "bench"; "examples" ]
+  in
+  let files =
+    List.sort compare
+      (List.concat_map (fun d -> walk (Filename.concat root d) []) dirs)
+  in
+  let read f =
+    let ic = open_in_bin f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let t0 = Unix.gettimeofday () in
+  let groups =
+    Castor_analysis.Analyze.sources (List.map (fun f -> (f, read f)) files)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let diags = List.concat_map snd groups in
+  let count sev =
+    Castor_analysis.Diagnostic.count sev diags
+  in
+  Fmt.pr "%d files in %.3f s: %d error(s), %d warning(s), %d info(s)@."
+    (List.length files) dt
+    (count Castor_analysis.Diagnostic.Error)
+    (count Castor_analysis.Diagnostic.Warning)
+    (count Castor_analysis.Diagnostic.Info)
+
+(* ------------------------------------------------------------------ *)
+
 let all =
   [
     ("table9", table9);
@@ -654,6 +708,7 @@ let all =
     ("planner", planner);
     ("sensitivity", sensitivity);
     ("fuzz", fuzz);
+    ("analyze", analyze);
     ("micro", micro);
   ]
 

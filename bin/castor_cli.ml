@@ -370,9 +370,12 @@ let print_rule_catalog () =
 let analyze dataset clauses_file clause_str sources rules json =
   if rules then print_rule_catalog ()
   else if sources <> [] then begin
-    (* OCaml-source lints run standalone: no dataset context needed *)
+    (* OCaml-source lints run standalone: no dataset context needed.
+       All files go to the AST engine in one call, so cross-module
+       rules (worker closures reaching another module's globals) see
+       the whole set. *)
     let groups =
-      List.map (fun f -> (f, Analyze.source ~path:f (read_file f))) sources
+      Analyze.sources (List.map (fun f -> (f, read_file f)) sources)
     in
     let all = List.concat_map snd groups in
     if json then print_endline (Diagnostic.to_json all)

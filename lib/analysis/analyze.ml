@@ -76,9 +76,17 @@ let rules : rule list =
       doc = "a relation has no key or IND-linked attribute to enter literals through" };
     { id = "mode/saturation-budget"; severity = Warning;
       doc = "estimated saturation literal/variable counts against max_terms predict subsumption budget exhaustion" };
-    (* source lints *)
+    (* source lints (AST engine, lib/analysis/ast_lint) *)
     { id = "backend/direct-instance-access"; severity = Error;
       doc = "OCaml source performs Instance/Store lookups directly instead of reading through the Backend seam" };
+    { id = "par/shared-mutable-state"; severity = Error;
+      doc = "a mutable global or captured mutable field is reachable from worker-domain code without Atomic/Mutex/Domain.DLS protection" };
+    { id = "par/swallowed-fatal"; severity = Error;
+      doc = "a wildcard exception handler in a spawning module can absorb Out_of_memory/Stack_overflow instead of re-raising" };
+    { id = "gen/unchecked-mutation"; severity = Warning;
+      doc = "backend mutation next to cached Coverage reads without consulting the generation counter" };
+    { id = "seed/ambient-randomness"; severity = Error;
+      doc = "global-state Random calls outside the CASTOR_TEST_SEED plumbing break run reproducibility" };
     (* import lints *)
     { id = "import/example-relation"; severity = Error;
       doc = "an imported example's relation differs from the declared target" };
@@ -102,9 +110,15 @@ let transform = Schema_lint.check_transform
 
 let clause = Clause_lint.check
 
-(** [source ?path text] — the OCaml-source lints
-    ([backend/direct-instance-access]). *)
+(** [source ?path text] — the OCaml-source lints (AST engine:
+    [backend/*], [par/*], [gen/*], [seed/*]) over one file. *)
 let source = Source_lint.check
+
+(** [sources files] — the OCaml-source lints over a whole [(path,
+    text)] set at once, so cross-module rules (worker closures
+    reaching another module's globals) see the full program. Returns
+    per-path diagnostic groups in input order. *)
+let sources = Source_lint.check_files
 
 (** [definition ?schema ?target ?depth_limit d] lints every clause of
     a Horn definition. *)

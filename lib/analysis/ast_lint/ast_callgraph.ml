@@ -1,0 +1,108 @@
+(** Approximate intra-project call graph over top-level bindings.
+
+    Nodes are ["Module.name"] for every top-level [let] in the
+    analyzed file set. An edge [f -> g] exists when [g]'s name is
+    referenced anywhere in [f]'s body — applications and first-class
+    uses alike, so reachability over-approximates "may execute as part
+    of". Cross-module references resolve by the last two path
+    segments, which makes [Coverage.vector], [Castor_ilp.Coverage.vector]
+    and (inside coverage.ml) plain [vector] all land on the same
+    node. *)
+
+open Parsetree
+
+type t = {
+  bodies : (string, expression) Hashtbl.t;
+  edges : (string, string list) Hashtbl.t;
+}
+
+let rec path_of_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> path_of_lid p @ [ s ]
+  | Longident.Lapply _ -> []
+
+(* every longident referenced in an expression *)
+let idents_of expr =
+  let out = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.pexp_desc with
+          | Pexp_ident lid -> out := path_of_lid lid.txt :: !out
+          | _ -> ());
+          Ast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it expr;
+  !out
+
+(** [resolve t ~modname path] maps a referenced ident path to a node
+    key when one exists: same-module for bare names, last-two-segment
+    match for qualified ones. *)
+let resolve t ~modname path =
+  let try_key k = if Hashtbl.mem t.bodies k then Some k else None in
+  match path with
+  | [ x ] -> try_key (modname ^ "." ^ x)
+  | _ -> (
+      let rec last2 = function
+        | [ m; x ] -> Some (m, x)
+        | _ :: tl -> last2 tl
+        | [] -> None
+      in
+      match last2 path with
+      | Some (m, x) when String.length m > 0 && m.[0] >= 'A' && m.[0] <= 'Z' ->
+          try_key (m ^ "." ^ x)
+      | _ -> None)
+
+let build files =
+  let t = { bodies = Hashtbl.create 256; edges = Hashtbl.create 256 } in
+  let tops =
+    List.concat_map
+      (fun (modname, structure) ->
+        List.concat_map
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_value (_, vbs) ->
+                List.filter_map
+                  (fun vb ->
+                    match (Ast_state.unwrap_pat vb.pvb_pat).ppat_desc with
+                    | Ppat_var name ->
+                        Some (modname, modname ^ "." ^ name.txt, vb.pvb_expr)
+                    | _ -> None)
+                  vbs
+            | _ -> [])
+          structure)
+      files
+  in
+  List.iter (fun (_, key, body) -> Hashtbl.replace t.bodies key body) tops;
+  List.iter
+    (fun (modname, key, body) ->
+      let callees =
+        List.filter_map (resolve t ~modname) (idents_of body)
+        |> List.sort_uniq compare
+        |> List.filter (fun k -> k <> key)
+      in
+      Hashtbl.replace t.edges key callees)
+    tops;
+  t
+
+let body t key = Hashtbl.find_opt t.bodies key
+
+let calls t key = Option.value ~default:[] (Hashtbl.find_opt t.edges key)
+
+(** [reachable t seeds] — transitive closure of [calls] from [seeds]
+    (seed nodes included). *)
+let reachable t seeds =
+  let seen = Hashtbl.create 64 in
+  let rec go key =
+    if Hashtbl.mem t.bodies key && not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      List.iter go (calls t key)
+    end
+  in
+  List.iter go seeds;
+  seen
+
+let nodes t = Hashtbl.fold (fun k _ acc -> k :: acc) t.bodies []

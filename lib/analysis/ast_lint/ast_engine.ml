@@ -1,0 +1,114 @@
+(** The AST-pass framework: parse a file set once, build the shared
+    mutable-state table and call graph, then run rule passes over the
+    whole set.
+
+    A pass sees every file at once — cross-module facts (a worker
+    closure in coverage.ml reaching a global in parallel.ml) are
+    first-class, which is why [castor_cli analyze --source] now hands
+    the engine all files in one call instead of linting them one by
+    one.
+
+    Adding a rule is: write a [run : ctx -> finding list] function
+    (~30 lines with the {!Ast_rules} walkers), give it an id, append
+    it to the pass list and the {!Analyze.rules} catalog. Suppression
+    comments, deduplication, Obs accounting and rendering are handled
+    here. *)
+
+module Obs = Castor_obs.Obs
+
+(* instrumentation: files parsed, rule passes executed (per file), and
+   post-suppression findings; the span is the whole-run wall clock so
+   analyzer runtime lands in the bench baselines *)
+let c_files = Obs.Counter.create "analysis.source.files"
+
+let c_rules_run = Obs.Counter.create "analysis.source.rules_run"
+
+let c_findings = Obs.Counter.create "analysis.source.findings"
+
+let span_analyze = Obs.Span.create "analysis.source.analyze"
+
+type ctx = {
+  files : Ast_parse.file list;
+  state : Ast_state.t;
+  graph : Ast_callgraph.t;
+}
+
+(** A finding ties a diagnostic to the file it belongs to, so passes
+    can report into any file of the set (the module that hosts a racy
+    global, not the one that spawned the worker). *)
+type finding = { fpath : string; diag : Diagnostic.t }
+
+type pass = {
+  prules : string list;  (** rule ids this pass can emit *)
+  prun : ctx -> finding list;
+}
+
+(** [context files] parses [(path, text)] pairs and builds the shared
+    tables; exposed separately for unit tests. *)
+let context files =
+  let parsed = List.map (fun (path, text) -> Ast_parse.parse ~path text) files in
+  let mods =
+    List.map (fun (f : Ast_parse.file) -> (f.modname, f.structure)) parsed
+  in
+  { files = parsed; state = Ast_state.build mods; graph = Ast_callgraph.build mods }
+
+let file_of_module ctx m =
+  List.find_opt (fun (f : Ast_parse.file) -> f.modname = m) ctx.files
+
+let suppressed (file : Ast_parse.file) (d : Diagnostic.t) =
+  match d.Diagnostic.span with
+  | None -> false
+  | Some { Diagnostic.line; _ } ->
+      List.exists
+        (fun (sline, rules) ->
+          (sline = line || sline = line - 1)
+          && List.exists
+               (fun r -> String.equal r d.Diagnostic.rule || String.equal r "all")
+               rules)
+        file.suppressions
+
+(** [analyze ~passes files] — the whole pipeline: parse, build tables,
+    run every pass, drop suppressed and duplicate findings, and group
+    diagnostics per input path (input order kept, parse errors
+    first). *)
+let analyze ~passes files =
+  Obs.Span.with_span span_analyze @@ fun () ->
+  let ctx = context files in
+  Obs.Counter.add c_files (List.length ctx.files);
+  Obs.Counter.add c_rules_run (List.length passes * List.length ctx.files);
+  let findings = List.concat_map (fun p -> p.prun ctx) passes in
+  let seen = Hashtbl.create 64 in
+  let fresh f =
+    let key =
+      ( f.diag.Diagnostic.rule,
+        f.fpath,
+        f.diag.Diagnostic.span,
+        f.diag.Diagnostic.subject )
+    in
+    if Hashtbl.mem seen key then false
+    else begin
+      Hashtbl.replace seen key ();
+      true
+    end
+  in
+  let groups =
+    List.map
+      (fun (file : Ast_parse.file) ->
+        let diags =
+          Option.to_list file.parse_error
+          @ List.filter_map
+              (fun f ->
+                if
+                  String.equal f.fpath file.path
+                  && (not (suppressed file f.diag))
+                  && fresh f
+                then Some f.diag
+                else None)
+              findings
+        in
+        (file.path, diags))
+      ctx.files
+  in
+  Obs.Counter.add c_findings
+    (List.fold_left (fun acc (_, ds) -> acc + List.length ds) 0 groups);
+  groups

@@ -1,0 +1,208 @@
+(** Front end of the AST lint engine: parse one OCaml source text
+    with the compiler's own parser ([compiler-libs]) and collect the
+    inline suppression comments.
+
+    Everything downstream works on real {!Parsetree} values with real
+    {!Location} spans, so — unlike the textual scanner this subsystem
+    replaced — identifiers inside comments and string literals can
+    never fire a rule.
+
+    Suppression syntax, scanned textually because comments do not
+    survive parsing:
+
+    {[ (* castor-lint: disable=par/shared-mutable-state *) ]}
+
+    A directive lists one or more comma-separated rule ids (or [all])
+    and mutes matching diagnostics on its own line and on the line
+    directly below — so it works both as a trailing comment and as a
+    line of its own above the flagged expression. *)
+
+(** One parsed source file. [structure] is empty when parsing failed;
+    [parse_error] then carries the diagnostic. *)
+type file = {
+  path : string;
+  modname : string;  (** capitalized basename, e.g. [Coverage] *)
+  text : string;
+  structure : Parsetree.structure;
+  suppressions : (int * string list) list;
+      (** line of a [castor-lint] comment and the rule ids it disables *)
+  parse_error : Diagnostic.t option;
+}
+
+let span_of_loc (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  {
+    Diagnostic.line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1;
+  }
+
+let modname_of_path path =
+  let base = Filename.basename path in
+  let stem =
+    match String.index_opt base '.' with
+    | Some i -> String.sub base 0 i
+    | None -> base
+  in
+  String.capitalize_ascii stem
+
+(* ---------------- suppression comments ----------------------------- *)
+
+let directive_prefix = "castor-lint:"
+
+(* rule ids are lowercase segments joined by '/', '-' and '_' *)
+let is_rule_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '/' || c = '-'
+  || c = '_'
+
+(* parse "castor-lint: disable=a,b" out of one comment body *)
+let rules_of_comment body =
+  let find_sub hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub hay i m = needle then Some (i + m)
+      else go (i + 1)
+    in
+    go 0
+  in
+  match find_sub body directive_prefix with
+  | None -> []
+  | Some i -> (
+      let n = String.length body in
+      let rec skip_ws i = if i < n && body.[i] = ' ' then skip_ws (i + 1) else i in
+      let i = skip_ws i in
+      match find_sub (String.sub body i (n - i)) "disable=" with
+      | None -> []
+      | Some j ->
+          let i = i + j in
+          let rec rules i acc =
+            let stop = ref i in
+            while !stop < n && is_rule_char body.[!stop] do
+              incr stop
+            done;
+            let acc =
+              if !stop > i then String.sub body i (!stop - i) :: acc else acc
+            in
+            if !stop < n && body.[!stop] = ',' then rules (!stop + 1) acc
+            else List.rev acc
+          in
+          rules i [])
+
+(* Scan [text] for comments, honouring OCaml's nesting and skipping
+   string and char literals, and keep those carrying a directive with
+   the line their opening "(*" sits on. *)
+let scan_suppressions text =
+  let n = String.length text in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let advance () =
+    if !i < n && text.[!i] = '\n' then incr line;
+    incr i
+  in
+  let skip_string () =
+    (* cursor on the opening quote *)
+    advance ();
+    let continue_ = ref true in
+    while !continue_ && !i < n do
+      match text.[!i] with
+      | '\\' ->
+          advance ();
+          if !i < n then advance ()
+      | '"' ->
+          advance ();
+          continue_ := false
+      | _ -> advance ()
+    done
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '"' then skip_string ()
+    else if
+      (* char literal: '.' or '\..'; leaves type variables ('a) alone *)
+      c = '\''
+      && !i + 2 < n
+      && (text.[!i + 2] = '\'' || (text.[!i + 1] = '\\' && !i + 3 < n))
+    then begin
+      if text.[!i + 2] = '\'' then begin
+        advance ();
+        advance ();
+        advance ()
+      end
+      else begin
+        (* escaped char: skip to the closing quote, bounded *)
+        advance ();
+        advance ();
+        let budget = ref 4 in
+        while !i < n && text.[!i] <> '\'' && !budget > 0 do
+          advance ();
+          decr budget
+        done;
+        if !i < n && text.[!i] = '\'' then advance ()
+      end
+    end
+    else if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let buf = Buffer.create 64 in
+      let depth = ref 1 in
+      advance ();
+      advance ();
+      while !depth > 0 && !i < n do
+        if text.[!i] = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          advance ();
+          advance ()
+        end
+        else if text.[!i] = '*' && !i + 1 < n && text.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          advance ();
+          advance ()
+        end
+        else begin
+          Buffer.add_char buf text.[!i];
+          advance ()
+        end
+      done;
+      match rules_of_comment (Buffer.contents buf) with
+      | [] -> ()
+      | rules -> out := (start_line, rules) :: !out
+    end
+    else advance ()
+  done;
+  List.rev !out
+
+(* ---------------- parsing ------------------------------------------ *)
+
+let parse_error_diag ~path exn =
+  let loc, msg =
+    match exn with
+    | Syntaxerr.Error err -> (Some (Syntaxerr.location_of_error err), "syntax error")
+    | Lexer.Error (_, loc) -> (Some loc, "lexing error")
+    | e -> (None, Printexc.to_string e)
+  in
+  Diagnostic.make
+    ?span:(Option.map span_of_loc loc)
+    ~rule:"parse/error" ~severity:Diagnostic.Error ~subject:path
+    "OCaml source failed to parse: %s" msg
+
+(** [parse ~path text] parses one source file; a syntax error yields
+    an empty structure plus a [parse/error] diagnostic rather than an
+    exception, so one broken file cannot abort a tree-wide run. *)
+let parse ~path text =
+  let structure, parse_error =
+    let lexbuf = Lexing.from_string text in
+    Location.init lexbuf path;
+    match Parse.implementation lexbuf with
+    | s -> (s, None)
+    | exception e -> ([], Some (parse_error_diag ~path e))
+  in
+  {
+    path;
+    modname = modname_of_path path;
+    text;
+    structure;
+    suppressions = scan_suppressions text;
+    parse_error;
+  }

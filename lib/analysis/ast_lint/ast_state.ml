@@ -1,0 +1,160 @@
+(** Per-module table of top-level mutable state, plus the project-wide
+    set of mutable record field names.
+
+    Classification is syntactic, from the right-hand side of each
+    top-level [let]: [ref], [Hashtbl.create], [Queue.create],
+    [Buffer.create], [Stack.create], [Array.make]/[init], [Bytes],
+    array literals and record literals carrying a mutable field are
+    {e unsafe} mutable state; [Atomic.make], [Mutex.create],
+    [Condition.create], [Semaphore], [Domain.DLS.new_key] and the
+    {!Castor_obs.Obs} instrument constructors are mutable but
+    {e domain-safe}, so sharing them with workers is fine.
+
+    Bindings inside nested [module struct ... end] blocks are not
+    collected — the rule passes only reason about state reachable by a
+    flat [Module.name] path, which keeps the table an
+    under-approximation (no false positives from submodule
+    internals). *)
+
+open Parsetree
+
+type kind =
+  | Unsafe of string  (** mutable and racy to share, e.g. ["Hashtbl"] *)
+  | Safe of string  (** mutable but domain-safe, e.g. ["Atomic"] *)
+
+type global = {
+  gmod : string;  (** defining module, e.g. ["Parallel"] *)
+  gname : string;
+  gkind : kind;
+  gloc : Location.t;
+}
+
+type t = {
+  globals : (string, global) Hashtbl.t;  (** key: ["Module.name"] *)
+  mutable_fields : (string, unit) Hashtbl.t;
+}
+
+let rec path_of_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> path_of_lid p @ [ s ]
+  | Longident.Lapply _ -> []
+
+let rec unwrap_expr e =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) -> unwrap_expr e'
+  | _ -> e
+
+let rec unwrap_pat p =
+  match p.ppat_desc with Ppat_constraint (p', _) -> unwrap_pat p' | _ -> p
+
+(* safe-kind constructor paths; matched against the flattened head of
+   an application *)
+let safe_of_path = function
+  | [ "Atomic"; "make" ] -> Some "Atomic"
+  | [ "Mutex"; "create" ] -> Some "Mutex"
+  | [ "Condition"; "create" ] -> Some "Condition"
+  | [ "Semaphore"; _; "make" ] -> Some "Semaphore"
+  | p when List.exists (String.equal "DLS") p -> Some "Domain.DLS"
+  | p
+    when (match List.rev p with "create" :: _ -> true | _ -> false)
+         && List.exists
+              (fun s ->
+                List.mem s [ "Counter"; "Span"; "Histogram"; "Reservoir" ])
+              p ->
+      (* Obs instruments are internally synchronized *)
+      Some "Obs"
+  | _ -> None
+
+let unsafe_of_path = function
+  | [ "ref" ] -> Some "ref"
+  | [ ("Hashtbl" | "Queue" | "Buffer" | "Stack"); "create" ] as p ->
+      Some (List.hd p)
+  | [ "Array"; ("make" | "init" | "create_float" | "of_list" | "copy") ] ->
+      Some "Array"
+  | [ "Bytes"; ("create" | "make" | "of_string" | "copy") ] -> Some "Bytes"
+  | _ -> None
+
+let classify mutable_fields rhs =
+  let rhs = unwrap_expr rhs in
+  match rhs.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match (unwrap_expr f).pexp_desc with
+      | Pexp_ident lid -> (
+          let p = path_of_lid lid.txt in
+          match safe_of_path p with
+          | Some s -> Some (Safe s)
+          | None -> Option.map (fun s -> Unsafe s) (unsafe_of_path p))
+      | _ -> None)
+  | Pexp_array _ -> Some (Unsafe "array literal")
+  | Pexp_record (fields, _)
+    when List.exists
+           (fun (lid, _) ->
+             match List.rev (path_of_lid lid.Asttypes.txt) with
+             | f :: _ -> Hashtbl.mem mutable_fields f
+             | [] -> false)
+           fields ->
+      Some (Unsafe "record with mutable fields")
+  | _ -> None
+
+(** [build files] scans [(modname, structure)] pairs: first every
+    record declaration for mutable field names, then every top-level
+    binding for mutable globals. *)
+let build files =
+  let t = { globals = Hashtbl.create 64; mutable_fields = Hashtbl.create 64 } in
+  (* pass 1: mutable record fields, project-wide by field name *)
+  List.iter
+    (fun (_, structure) ->
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_type (_, decls) ->
+              List.iter
+                (fun d ->
+                  match d.ptype_kind with
+                  | Ptype_record labels ->
+                      List.iter
+                        (fun l ->
+                          if l.pld_mutable = Asttypes.Mutable then
+                            Hashtbl.replace t.mutable_fields l.pld_name.txt ())
+                        labels
+                  | _ -> ())
+                decls
+          | _ -> ())
+        structure)
+    files;
+  (* pass 2: top-level mutable globals *)
+  List.iter
+    (fun (gmod, structure) ->
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+              List.iter
+                (fun vb ->
+                  match (unwrap_pat vb.pvb_pat).ppat_desc with
+                  | Ppat_var name -> (
+                      match classify t.mutable_fields vb.pvb_expr with
+                      | Some gkind ->
+                          Hashtbl.replace t.globals
+                            (gmod ^ "." ^ name.txt)
+                            {
+                              gmod;
+                              gname = name.txt;
+                              gkind;
+                              gloc = vb.pvb_loc;
+                            }
+                      | None -> ())
+                  | _ -> ())
+                vbs
+          | _ -> ())
+        structure)
+    files;
+  t
+
+let find_global t key = Hashtbl.find_opt t.globals key
+
+let is_mutable_field t f = Hashtbl.mem t.mutable_fields f
+
+(** Globals of one module, for tests and debugging. *)
+let globals_of_module t m =
+  Hashtbl.fold (fun _ g acc -> if g.gmod = m then g :: acc else acc) t.globals []

@@ -1,157 +1,24 @@
-(** Source-level lint backing the [backend/direct-instance-access]
-    rule: OCaml code outside [lib/relational] must not perform
-    {!Castor_relational.Instance} / {!Castor_relational.Store} lookups
-    directly — clause evaluation reads tuples through the
-    {!Castor_relational.Backend} seam, so the cost-based planner sees
-    every access and a storage swap cannot change coverage semantics.
+(** OCaml-source lint entry points — a thin shim over the AST engine
+    in [ast_lint/] ({!Ast_engine}, {!Ast_rules}).
 
-    The check is textual: comments and string literals are stripped
-    (with OCaml's nesting rules), then every qualified lowercase
-    identifier is matched against the banned lookup surface. Mutation
-    entry points ([add], [remove], [schema], ...) stay legal — the
-    rule polices reads on the clause-evaluation path, not ownership of
-    the data. *)
+    PRs 5–6 implemented [backend/direct-instance-access] here as a
+    textual scanner; the AST engine replaced it (same rule id, same
+    spans, no comment/string false positives) and added the
+    [par/*]/[gen/*]/[seed/*] rules. This module keeps the historical
+    [check] signature so [Analyze.source] and the CLI are source
+    compatible. *)
 
-let rule_id = "backend/direct-instance-access"
+let rule_id = Ast_rules.rule_backend
 
-(* the read surface of the two storage modules; a qualified use of any
-   of these outside lib/relational bypasses the Backend seam *)
-let banned =
-  [
-    ("Instance", "find");
-    ("Instance", "find_matching");
-    ("Instance", "tuples_containing");
-    ("Store", "find");
-    ("Store", "find_in_shard");
-    ("Store", "find_matching");
-    ("Store", "tuples");
-    ("Store", "shard_tuples");
-    ("Store", "tuples_containing");
-    ("Store", "shard_of");
-    ("Store", "shard_of_value");
-  ]
-
-(* lib/relational implements the seam; its files read the stores by
-   definition *)
-let exempt_path path =
-  let norm = String.map (fun c -> if c = '\\' then '/' else c) path in
-  let rec has_sub i =
-    let sub = "lib/relational/" in
-    if i + String.length sub > String.length norm then false
-    else if String.sub norm i (String.length sub) = sub then true
-    else has_sub (i + 1)
-  in
-  has_sub 0
-
-type token = { path : string list; line : int; col : int }
-
-let is_ident_char c =
-  (c >= 'a' && c <= 'z')
-  || (c >= 'A' && c <= 'Z')
-  || (c >= '0' && c <= '9')
-  || c = '_' || c = '\''
-
-let is_upper c = c >= 'A' && c <= 'Z'
-
-(* qualified identifiers of the de-commented, de-stringed source, with
-   1-based positions. A token is a '.'-chain of identifiers starting
-   at a module name: [Castor_relational.Instance.find_matching]. *)
-let tokens text =
-  let n = String.length text in
-  let out = ref [] in
-  let line = ref 1 and col = ref 1 in
-  let i = ref 0 in
-  let advance () =
-    if !i < n && text.[!i] = '\n' then begin
-      incr line;
-      col := 1
-    end
-    else incr col;
-    incr i
-  in
-  let comment_depth = ref 0 and in_string = ref false in
-  while !i < n do
-    let c = text.[!i] in
-    if !in_string then begin
-      if c = '\\' then begin
-        advance ();
-        if !i < n then advance ()
-      end
-      else begin
-        if c = '"' then in_string := false;
-        advance ()
-      end
-    end
-    else if !comment_depth > 0 then begin
-      if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
-        incr comment_depth;
-        advance ();
-        advance ()
-      end
-      else if c = '*' && !i + 1 < n && text.[!i + 1] = ')' then begin
-        decr comment_depth;
-        advance ();
-        advance ()
-      end
-      else advance ()
-    end
-    else if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
-      incr comment_depth;
-      advance ();
-      advance ()
-    end
-    else if c = '"' then begin
-      in_string := true;
-      advance ()
-    end
-    else if is_upper c && (!i = 0 || not (is_ident_char text.[!i - 1])) then begin
-      let tline = !line and tcol = !col in
-      let segs = ref [] in
-      let continue = ref true in
-      while !continue do
-        let start = !i in
-        while !i < n && is_ident_char text.[!i] do
-          advance ()
-        done;
-        segs := String.sub text start (!i - start) :: !segs;
-        if
-          !i + 1 < n
-          && text.[!i] = '.'
-          && (is_ident_char text.[!i + 1] || is_upper text.[!i + 1])
-        then advance ()
-        else continue := false
-      done;
-      let path = List.rev !segs in
-      if List.length path > 1 then
-        out := { path; line = tline; col = tcol } :: !out
-    end
-    else advance ()
-  done;
-  List.rev !out
-
-let hit (tok : token) =
-  let rec scan = function
-    | m :: f :: _ when List.mem (m, f) banned -> Some (m ^ "." ^ f)
-    | _ :: tl -> scan tl
-    | [] -> None
-  in
-  scan tok.path
-
-(** [check ?path text] lints one OCaml source text. [path], when
-    given, exempts the storage layer itself and labels diagnostics. *)
+(** [check ?path text] lints one OCaml source text with every AST
+    rule. [path], when given, exempts the storage layer itself and
+    labels diagnostics. Cross-module rules see a one-file world here;
+    use {!check_files} to lint a whole tree coherently. *)
 let check ?(path = "<source>") text =
-  if exempt_path path then []
-  else
-    List.filter_map
-      (fun tok ->
-        Option.map
-          (fun qualified ->
-            Diagnostic.make
-              ~span:{ Diagnostic.line = tok.line; col = tok.col }
-              ~rule:rule_id ~severity:Diagnostic.Error
-              ~subject:(path ^ ": " ^ String.concat "." tok.path)
-              "direct %s lookup bypasses the Backend seam (use \
-               Backend.find/find_matching/tuples_containing)"
-              qualified)
-          (hit tok))
-      (tokens text)
+  List.concat_map snd (Ast_rules.analyze [ (path, text) ])
+
+(** [check_files files] lints [(path, text)] pairs as one program:
+    the mutable-state table and call graph span the whole set, so a
+    worker closure in one module can implicate a global in another.
+    Returns per-path diagnostic groups in input order. *)
+let check_files files = Ast_rules.analyze files

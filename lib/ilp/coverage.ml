@@ -288,22 +288,27 @@ let run_semijoin t patterns positions =
   | None -> invalid_arg "Coverage.run_semijoin: no example store"
   | Some store ->
       let eids = Array.map (fun i -> t.eids.(i)) positions in
+      (* snapshot the mutable knobs before building the worker-seeding
+         closure: a concurrent [set_domains]/[set_force_parallel] must
+         not change the fan-out shape mid-run *)
+      let force = t.force_parallel and domains = t.domains in
       let fanout =
-        if t.domains <= 1 then None
-        else
-          Some
-            (fun parts f ->
-              Parallel.init ~force:t.force_parallel ~domains:t.domains parts f)
+        if domains <= 1 then None
+        else Some (fun parts f -> Parallel.init ~force ~domains parts f)
       in
       let rows0 = Obs.Counter.value Algebra.c_rows_scanned in
       let res = Algebra.semijoin_batch ?fanout store ~patterns ~eids in
       Planner.note_actual (Obs.Counter.value Algebra.c_rows_scanned - rows0);
       res
 
-let subsumes_noted t clause i =
+(* [bottoms] and [max_steps] are threaded explicitly (not read off
+   [t]) so the worker closures built over this function hold an
+   immutable snapshot — a concurrent [refresh] swapping [t.bottoms]
+   cannot tear a running vector computation. *)
+let subsumes_noted ~max_steps (bottoms : Clause.t array) clause i =
   Obs.Counter.incr Stats.c_subsumption_tests;
   let steps0 = Obs.Counter.value Subsume.c_steps in
-  let r = Subsume.subsumes ~max_steps:t.max_steps clause t.bottoms.(i) in
+  let r = Subsume.subsumes ~max_steps clause bottoms.(i) in
   Planner.note_actual (Obs.Counter.value Subsume.c_steps - steps0);
   r
 
@@ -327,7 +332,8 @@ let covers t clause i =
   | None -> (
       match (plan t ~n_undecided:1 clause).Planner.strategy with
       | Planner.Semijoin patterns -> (run_semijoin t patterns [| i |]).(0)
-      | Planner.Subsumption -> subsumes_noted t clause i)
+      | Planner.Subsumption ->
+          subsumes_noted ~max_steps:t.max_steps t.bottoms clause i)
 
 (** [vector ?assume ?within t clause] returns the boolean coverage
     vector of [clause] over all examples.
@@ -390,18 +396,22 @@ let vector ?assume ?within t clause =
             Array.iteri (fun j pos -> v.(pos) <- res.(j)) positions;
             v
         | Planner.Subsumption ->
-            (* cyclic, kernel-less, or simply cheaper per-example *)
+            (* cyclic, kernel-less, or simply cheaper per-example; the
+               test closure runs on worker domains, so it captures a
+               snapshot of the mutable state it needs instead of
+               reading fields of [t] concurrently *)
+            let bottoms = t.bottoms and max_steps = t.max_steps in
             let test i =
               match within with
               | Some mask when not mask.(i) -> false
               | _ -> (
                   match assume with
                   | Some known when known.(i) -> true
-                  | _ -> subsumes_noted t clause i)
+                  | _ -> subsumes_noted ~max_steps bottoms clause i)
             in
-            if t.domains <= 1 then Array.init n test
-            else
-              Parallel.init ~force:t.force_parallel ~domains:t.domains n test
+            let force = t.force_parallel and domains = t.domains in
+            if domains <= 1 then Array.init n test
+            else Parallel.init ~force ~domains n test
       in
       if cacheable then Hashtbl.replace t.cache key (Array.copy v);
       v

@@ -27,7 +27,9 @@ let mutex = Mutex.create ()
 
 let nonempty = Condition.create ()
 
-let n_workers = ref 0
+(* read/CAS'd by the caller in [ensure_workers] while dying workers
+   decrement concurrently, so it must be atomic rather than a ref *)
+let n_workers = Atomic.make 0
 
 (* Asynchronous/fatal exceptions must not be swallowed: a worker that
    ran out of memory or stack is in an unknown state and its domain
@@ -48,20 +50,23 @@ let worker () =
        re-raise and terminate the domain *)
     try t () with
     | e when is_fatal e ->
-        Mutex.lock mutex;
-        decr n_workers;
-        Mutex.unlock mutex;
+        Atomic.decr n_workers;
         raise e
     | _ -> ()
   done
 
 (* Workers are daemons: they hold no resources that need cleanup, and
-   process exit tears them down. *)
-let ensure_workers n =
-  while !n_workers < n do
-    incr n_workers;
-    ignore (Domain.spawn worker)
-  done
+   process exit tears them down. The CAS loop claims each slot before
+   spawning, so a concurrent fatal-death decrement can never be lost
+   and the pool can never overshoot [n]. *)
+let rec ensure_workers n =
+  let cur = Atomic.get n_workers in
+  if cur < n then
+    if Atomic.compare_and_set n_workers cur (cur + 1) then begin
+      ignore (Domain.spawn worker);
+      ensure_workers n
+    end
+    else ensure_workers n
 
 let submit t =
   Mutex.lock mutex;
@@ -149,8 +154,10 @@ let init ?(force = false) ~domains n (f : int -> 'b) : 'b array =
       (* the caller participates too; its fatal exception is already
          in [failure] and re-raised after the join below — raising
          here would skip the join and leave workers racing the next
-         batch *)
-      (try compute () with _ -> ());
+         batch. Only fatal exceptions reach this handler: [compute]
+         records every exception in [failure] and re-raises just the
+         fatal ones, so nothing else can be absorbed. *)
+      (try compute () with e when is_fatal e -> ());
       Mutex.lock done_m;
       while !remaining > 0 do
         Condition.wait done_cv done_m

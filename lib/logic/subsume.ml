@@ -90,9 +90,6 @@ type plit = {
           [cands] *)
 }
 
-(* dummy literal used only for array initialization *)
-let dummy_plit = { prel = ""; pargs = [||]; cands = [||]; vset = []; idx = [] }
-
 let compile_pattern (lits : Atom.t list) (groups : groups) =
   let var_ids = Hashtbl.create 16 in
   let n_vars = ref 0 in
@@ -301,6 +298,11 @@ let order_literals (bindings : Term.t option array) (plits : plit list) =
   let n = Array.length arr in
   let placed = Array.make n false in
   let bound = Array.map Option.is_some bindings in
+  (* per-call dummy for array initialization: a shared global here
+     would alias a mutable record across domains *)
+  let dummy_plit =
+    { prel = ""; pargs = [||]; cands = [||]; vset = []; idx = [] }
+  in
   let out = Array.make n dummy_plit in
   for slot = 0 to n - 1 do
     let best = ref (-1) in

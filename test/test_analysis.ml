@@ -426,6 +426,223 @@ let test_source_lint () =
   | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
   check Alcotest.bool "rule is catalogued" true (Analyze.find_rule rule <> None)
 
+(* ---------------- AST lint: parallelism / generation / seed rules --- *)
+
+module Ast_engine = Castor_analysis.Ast_engine
+module Ast_callgraph = Castor_analysis.Ast_callgraph
+
+let src ?(path = "lib/learners/x.ml") text = Analyze.source ~path text
+
+let test_par_shared () =
+  let rule = "par/shared-mutable-state" in
+  check_fires "global Hashtbl mutated in a spawned closure" rule
+    (src
+       "let tbl : (int, int) Hashtbl.t = Hashtbl.create 8\n\
+        let go () = Domain.spawn (fun () -> Hashtbl.replace tbl 1 1)");
+  check_fires "captured mutable field read inside a Parallel fan-out" rule
+    (src
+       "type cfg = { mutable knob : int }\n\
+        let run c = Parallel.init ~domains:2 4 (fun i -> i + c.knob)");
+  check_clean "Atomic globals are domain-safe" rule
+    (src
+       "let hits = Atomic.make 0\n\
+        let go () = Domain.spawn (fun () -> Atomic.incr hits)");
+  check_clean "mutable global untouched by worker code" rule
+    (src "let tbl = Hashtbl.create 8\nlet bump () = Hashtbl.replace tbl 1 1");
+  check_clean "snapshot taken before the fan-out" rule
+    (src
+       "type cfg = { mutable knob : int }\n\
+        let run c =\n\
+       \  let knob = c.knob in\n\
+       \  Parallel.init ~domains:2 4 (fun i -> i + knob)");
+  check_clean "lock-disciplined access" rule
+    (src
+       "let tbl = Hashtbl.create 8\n\
+        let m = Mutex.create ()\n\
+        let go () =\n\
+       \  Domain.spawn (fun () ->\n\
+       \      Mutex.lock m;\n\
+       \      Hashtbl.replace tbl 1 1;\n\
+       \      Mutex.unlock m)")
+
+let test_par_shared_cross_module () =
+  let rule = "par/shared-mutable-state" in
+  (* the worker closure lives in beta.ml; the racy global and the
+     firing access live in alpha.ml — only a whole-set run sees it *)
+  let groups =
+    Analyze.sources
+      [
+        ( "lib/a/alpha.ml",
+          "let shared : int list ref = ref []\n\
+           let note x = shared := x :: !shared" );
+        ( "lib/b/beta.ml",
+          "let run () = Parallel.map ~domains:2 (fun i -> Alpha.note i) [| 1 |]"
+        );
+      ]
+  in
+  check_fires "cross-module reachability implicates alpha.ml" rule
+    (List.assoc "lib/a/alpha.ml" groups);
+  check_clean "the spawning module itself is clean" rule
+    (List.assoc "lib/b/beta.ml" groups);
+  (* same pair, single-file runs: the race is invisible by design *)
+  check_clean "single-file run cannot see the cross-module race" rule
+    (src ~path:"lib/a/alpha.ml"
+       "let shared : int list ref = ref []\n\
+        let note x = shared := x :: !shared")
+
+let test_par_fatal () =
+  let rule = "par/swallowed-fatal" in
+  check_fires "wildcard handler in a spawning module" rule
+    (src
+       "let go f = Parallel.map ~domains:2 f [| 1 |]\n\
+        let safe f = try f () with _ -> None");
+  check_clean "fatal exceptions screened first" rule
+    (src
+       "let is_fatal = function Out_of_memory | Stack_overflow -> true | _ -> \
+        false\n\
+        let go f = Parallel.map ~domains:2 f [| 1 |]\n\
+        let safe f = try f () with e when is_fatal e -> raise e | _ -> None");
+  check_clean "re-raising wildcard is not a swallow" rule
+    (src
+       "let go f = Parallel.map ~domains:2 f [| 1 |]\n\
+        let safe f = try f () with e -> raise e");
+  check_clean "wildcard handler outside spawning modules" rule
+    (src "let safe f = try f () with _ -> None")
+
+let test_gen_unchecked () =
+  let rule = "gen/unchecked-mutation" in
+  check_fires "mutation beside cached coverage reads" rule
+    (src
+       "let stale cov inst c =\n\
+       \  let v = Coverage.vector cov c in\n\
+       \  Instance.add inst \"r\" [| v |];\n\
+       \  Coverage.covered_count cov c");
+  check_clean "refresh consulted after the mutation" rule
+    (src
+       "let fresh cov inst c =\n\
+       \  Instance.add inst \"r\" [||];\n\
+       \  Coverage.refresh cov;\n\
+       \  Coverage.covered_count cov c");
+  check_clean "mutation without coverage reads" rule
+    (src "let load inst = Instance.add inst \"r\" [||]")
+
+let test_seed_ambient () =
+  let rule = "seed/ambient-randomness" in
+  check_fires "global-state Random.int" rule
+    (src "let pick xs = List.nth xs (Random.int (List.length xs))");
+  check_fires "Random.self_init" rule (src "let () = Random.self_init ()");
+  check_clean "explicit Random.State is reproducible" rule
+    (src "let pick st xs = List.nth xs (Random.State.int st (List.length xs))");
+  check_clean "the CASTOR_TEST_SEED plumbing is exempt" rule
+    (src
+       "let seed =\n\
+       \  match Sys.getenv_opt \"CASTOR_TEST_SEED\" with\n\
+       \  | Some s -> int_of_string s\n\
+       \  | None -> 42\n\
+        let roll () = Random.int 6")
+
+let test_suppression () =
+  let rule = "par/shared-mutable-state" in
+  let body =
+    "let go () = Domain.spawn (fun () -> Hashtbl.replace tbl 1 1)"
+  in
+  let tbl = "let tbl : (int, int) Hashtbl.t = Hashtbl.create 8\n" in
+  check_fires "unsuppressed baseline" rule (src (tbl ^ body));
+  check_clean "line-above suppression" rule
+    (src (tbl ^ "(* castor-lint: disable=par/shared-mutable-state *)\n" ^ body));
+  check_clean "trailing same-line disable=all" rule
+    (src (tbl ^ body ^ " (* castor-lint: disable=all *)"));
+  check_fires "suppressing another rule does not mute this one" rule
+    (src (tbl ^ "(* castor-lint: disable=gen/unchecked-mutation *)\n" ^ body))
+
+let test_callgraph () =
+  let ctx =
+    Ast_engine.context
+      [
+        ( "alpha.ml",
+          "let helper x = x + 1\nlet entry y = helper (Beta.shared y)" );
+        ("beta.ml", "let shared z = z * 2\nlet lonely = 3");
+      ]
+  in
+  let calls = Ast_callgraph.calls ctx.Ast_engine.graph "Alpha.entry" in
+  check Alcotest.bool "entry calls its module-local helper" true
+    (List.mem "Alpha.helper" calls);
+  check Alcotest.bool "entry calls the cross-module function" true
+    (List.mem "Beta.shared" calls);
+  let reach = Ast_callgraph.reachable ctx.Ast_engine.graph [ "Alpha.entry" ] in
+  check Alcotest.bool "reachability crosses modules" true
+    (Hashtbl.mem reach "Beta.shared");
+  check Alcotest.bool "unreferenced bindings stay unreachable" false
+    (Hashtbl.mem reach "Beta.lonely")
+
+(* the real sources the satellite fixes touched: the detector must run
+   clean over them (regression for the n_workers race, the swallowed
+   caller-side fatal, and the unsnapshotted fan-out knobs) *)
+
+let lib_source rel =
+  let candidates = [ "../" ^ rel; rel ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.failf "source %s not reachable from the test cwd" rel
+  | Some f ->
+      let ic = open_in_bin f in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> (rel, really_input_string ic (in_channel_length ic)))
+
+let test_fixed_sources_clean () =
+  let groups =
+    Analyze.sources
+      (List.map lib_source
+         [ "lib/ilp/parallel.ml"; "lib/ilp/coverage.ml"; "lib/fuzz/sweep.ml" ])
+  in
+  List.iter
+    (fun (path, diags) ->
+      check Alcotest.int
+        (Fmt.str "%s is diagnostic-free" path)
+        0 (List.length diags))
+    groups
+
+let test_seeded_race_detected () =
+  let _, orig = lib_source "lib/ilp/parallel.ml" in
+  let text =
+    orig
+    ^ "\nlet seeded : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+       let _kick () = Domain.spawn (fun () -> Hashtbl.replace seeded 1 1)\n"
+  in
+  let diags = Analyze.source ~path:"lib/ilp/parallel.ml" text in
+  check_fires "seeded unprotected Hashtbl is caught" "par/shared-mutable-state"
+    diags;
+  check Alcotest.bool "finding is error severity (CLI exits nonzero)" true
+    (Diagnostic.has_errors diags);
+  (* the span must point at the [seeded] use inside the closure *)
+  let needle = "Hashtbl.replace seeded" in
+  let rec find i =
+    if i + String.length needle > String.length text then
+      Alcotest.fail "seeded marker not found"
+    else if String.sub text i (String.length needle) = needle then i
+    else find (i + 1)
+  in
+  let at = find 0 + String.length "Hashtbl.replace " in
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < at && c = '\n' then begin
+        incr line;
+        bol := i + 1
+      end)
+    text;
+  let d =
+    List.find
+      (fun (d : Diagnostic.t) ->
+        d.Diagnostic.rule = "par/shared-mutable-state")
+      diags
+  in
+  match d.Diagnostic.span with
+  | None -> Alcotest.fail "seeded race diagnostic lost its span"
+  | Some s ->
+      check Alcotest.int "span line" !line s.Diagnostic.line;
+      check Alcotest.int "span col" (at - !bol + 1) s.Diagnostic.col
+
 (* ---------------- catalog ------------------------------------------- *)
 
 let test_catalog () =
@@ -549,6 +766,20 @@ let suite =
     tc "inferred polarity: inputs, outputs and the constant override"
       test_mode_polarity;
     tc "backend/direct-instance-access fires and stays quiet" test_source_lint;
+    tc "par/shared-mutable-state fires and stays quiet" test_par_shared;
+    tc "par/shared-mutable-state crosses modules in whole-set runs"
+      test_par_shared_cross_module;
+    tc "par/swallowed-fatal fires and stays quiet" test_par_fatal;
+    tc "gen/unchecked-mutation fires and stays quiet" test_gen_unchecked;
+    tc "seed/ambient-randomness fires and stays quiet" test_seed_ambient;
+    tc "castor-lint suppression comments mute matching rules"
+      test_suppression;
+    tc "the call graph links module-local and cross-module references"
+      test_callgraph;
+    tc "the fixed parallel/coverage/sweep sources lint clean"
+      test_fixed_sources_clean;
+    tc "a seeded unprotected Hashtbl in a worker closure is caught, with span"
+      test_seeded_race_detected;
     tc "the rule catalog is consistent and 8+ rules fire" test_catalog;
     tc "the pre-learning gate rejects, warns and can be disabled"
       test_problem_gate;

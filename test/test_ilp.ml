@@ -350,6 +350,24 @@ let parallel_suite =
            respawns workers on the next call *)
         check Alcotest.(array int) "pool recovers" (Array.init 100 Fun.id)
           (Parallel.init ~force:true ~domains:4 100 Fun.id));
+    tc "worker accounting survives repeated fatal deaths" (fun () ->
+        (* regression for the n_workers race flagged by
+           par/shared-mutable-state: the caller's unlocked check in
+           ensure_workers raced the dying worker's decrement, so a
+           fatal batch could leave the pool under- or over-counted.
+           With the CAS loop, pools stay correct through repeated
+           kill/respawn cycles. *)
+        for round = 1 to 5 do
+          (try
+             ignore
+               (Parallel.init ~force:true ~domains:4 64 (fun i ->
+                    if i mod 16 = 7 then raise Out_of_memory else i))
+           with Out_of_memory -> ());
+          check Alcotest.(array int)
+            (Printf.sprintf "round %d: pool recovered and is exact" round)
+            (Array.init 64 Fun.id)
+            (Parallel.init ~force:true ~domains:4 64 Fun.id)
+        done);
   ]
 
 (* ------------------------------ scoring ----------------------------- *)
