@@ -405,7 +405,32 @@ let coverage_batch () =
   Fmt.pr "  speedup %.2fx; kernel batches %d, fallbacks to Subsume %d@."
     (t_off /. t_on)
     (Obs.Counter.value Algebra.c_batches)
-    (Obs.Counter.value Castor_ilp.Coverage.c_batch_fallbacks)
+    (Obs.Counter.value Castor_ilp.Coverage.c_batch_fallbacks);
+  (* storage sweep: same vectors on the flat and columnar layouts; the
+     per-backend scan work is exported under its own counter so the CI
+     gate can require columnar strictly below flat in one dump *)
+  let sweep spec =
+    Castor_ilp.Coverage.set_backend pos spec;
+    Castor_ilp.Coverage.set_backend neg spec;
+    let rows0 = Obs.Counter.value Algebra.c_rows_scanned in
+    let vs, t = with_batch true in
+    let rows = Obs.Counter.value Algebra.c_rows_scanned - rows0 in
+    if not (List.for_all2 (fun (a, b) (c, d) -> a = c && b = d) vs off) then
+      failwith
+        ("coverage_batch: backend " ^ Backend.spec_to_string spec
+       ^ " disagrees with Subsume");
+    let tag =
+      String.map
+        (fun c -> if c = ':' then '_' else c)
+        (Backend.spec_to_string spec)
+    in
+    Obs.Counter.add
+      (Obs.Counter.create ("bench.coverage_batch.rows_scanned." ^ tag))
+      rows;
+    Fmt.pr "  backend %-10s %8.3f s  %9d rows scanned@."
+      (Backend.spec_to_string spec) t rows
+  in
+  List.iter sweep [ Backend.Flat; Backend.Columnar ]
 
 (* ------------------------------------------------------------------ *)
 (* Cost-based coverage planner                                         *)
@@ -461,23 +486,38 @@ let planner () =
       Backend.Sharded 2;
       Backend.Sharded 4;
       Backend.Sharded 7;
+      Backend.Columnar;
     ]
   in
   Fmt.pr "%d candidate clauses, planner on, per backend (UW-CSE original):@."
     (List.length clauses);
   let t_last = ref t_subs in
+  (* per-backend kernel scan work, exported as its own counter so the
+     CI gate can require columnar strictly below flat in one dump *)
+  let scan_counter spec =
+    let tag =
+      String.map
+        (fun c -> if c = ':' then '_' else c)
+        (Backend.spec_to_string spec)
+    in
+    Obs.Counter.create ("bench.planner.rows_scanned." ^ tag)
+  in
   List.iter
     (fun spec ->
       Castor_ilp.Coverage.set_backend pos spec;
       Castor_ilp.Coverage.set_backend neg spec;
+      let rows0 = Obs.Counter.value Algebra.c_rows_scanned in
       let vs, t = timed_vectors () in
+      let rows = Obs.Counter.value Algebra.c_rows_scanned - rows0 in
+      Obs.Counter.add (scan_counter spec) rows;
       if vs <> reference then
         failwith
           ("planner: coverage vectors diverge from subsumption on backend "
           ^ Backend.spec_to_string spec);
       if spec = Castor_ilp.Coverage.backend_spec pos then t_last := t;
-      Fmt.pr "  backend %-10s %8.3f s  (matches subsumption bit-for-bit)@."
-        (Backend.spec_to_string spec) t)
+      Fmt.pr
+        "  backend %-10s %8.3f s  %9d rows scanned  (matches subsumption bit-for-bit)@."
+        (Backend.spec_to_string spec) t rows)
     specs;
   Fmt.pr "  pure subsumption     %8.3f s@." t_subs;
   Fmt.pr

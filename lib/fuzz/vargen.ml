@@ -32,21 +32,96 @@ let c_candidates = Obs.Counter.create "fuzz.vargen.candidates"
 let c_generated = Obs.Counter.create "fuzz.vargen.generated"
 let c_rejected = Obs.Counter.create "fuzz.vargen.rejected"
 
+(** Candidates pruned as duplicates {e before} the (expensive)
+    validation pipeline ran — the early-dedup win. *)
+let c_dup_pruned = Obs.Counter.create "fuzz.vargen.dup_pruned"
+
 (* ------------------------------------------------------------------ *)
 (* Schema signatures: name-insensitive structural identity             *)
 (* ------------------------------------------------------------------ *)
 
 (** [schema_signature s] is a canonical string identifying [s] up to
-    relation naming and relation/attribute order: the sorted multiset
-    of sorted [attr:domain] lists. *)
+    {e relation and attribute} renaming and relation/attribute order —
+    the paper's view that information equivalence is about sorts and
+    dependencies, not names.
+
+    Attribute names cannot simply be dropped: they carry the join
+    structure (natural join connects columns by name), so a
+    domain-only signature would merge genuinely different variants
+    (e.g. a decomposition holding the [stud] column of a [person]
+    domain vs. one holding [prof]). Instead each attribute name is
+    given a {e structural color} by Weisfeiler–Leman-style refinement:
+    start from its domain, then repeatedly refine by the sorted
+    multiset of the sorts of the relations it occurs in (a sort being
+    the sorted multiset of its member colors), renumbering colors
+    canonically after each round. Chained compose/decompose orders
+    that reach the same schema up to naming therefore produce the same
+    signature and dedupe, while structurally distinct schemas keep
+    distinct signatures (up to WL indistinguishability). *)
 let schema_signature (s : Schema.t) =
-  List.map
-    (fun (r : Schema.relation) ->
+  let attr_names =
+    List.concat_map
+      (fun (r : Schema.relation) ->
+        List.map (fun (a : Schema.attribute) -> a.Schema.aname) r.Schema.attrs)
+      s.Schema.relations
+    |> List.sort_uniq compare
+  in
+  let domain_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Schema.relation) ->
+        List.iter
+          (fun (a : Schema.attribute) ->
+            if not (Hashtbl.mem tbl a.Schema.aname) then
+              Hashtbl.add tbl a.Schema.aname a.Schema.domain)
+          r.Schema.attrs)
+      s.Schema.relations;
+    Hashtbl.find tbl
+  in
+  (* canonical renumbering: distinct color strings -> dense rank *)
+  let renumber strs =
+    let ranks = Hashtbl.create 16 in
+    List.iteri
+      (fun i c -> Hashtbl.replace ranks c i)
+      (List.sort_uniq compare (List.map snd strs));
+    List.map (fun (name, c) -> (name, Hashtbl.find ranks c)) strs
+  in
+  let color = Hashtbl.create 16 in
+  List.iter
+    (fun (name, c) -> Hashtbl.replace color name c)
+    (renumber (List.map (fun n -> (n, domain_of n)) attr_names));
+  let rel_sort (r : Schema.relation) =
+    List.map
+      (fun (a : Schema.attribute) ->
+        string_of_int (Hashtbl.find color a.Schema.aname))
+      r.Schema.attrs
+    |> List.sort compare |> String.concat "."
+  in
+  for _round = 1 to 3 do
+    let refined =
       List.map
-        (fun (a : Schema.attribute) -> a.Schema.aname ^ ":" ^ a.Schema.domain)
-        r.Schema.attrs
-      |> List.sort compare |> String.concat ",")
-    s.Schema.relations
+        (fun name ->
+          let contexts =
+            List.filter_map
+              (fun (r : Schema.relation) ->
+                if
+                  List.exists
+                    (fun (a : Schema.attribute) -> a.Schema.aname = name)
+                    r.Schema.attrs
+                then Some (rel_sort r)
+                else None)
+              s.Schema.relations
+            |> List.sort compare
+          in
+          ( name,
+            string_of_int (Hashtbl.find color name)
+            ^ "|"
+            ^ String.concat ";" contexts ))
+        attr_names
+    in
+    List.iter (fun (name, c) -> Hashtbl.replace color name c) (renumber refined)
+  done;
+  List.map rel_sort s.Schema.relations
   |> List.sort compare |> String.concat ";"
 
 (* ------------------------------------------------------------------ *)
@@ -318,18 +393,41 @@ let generate ~seed ~budget ?(max_depth = 2) (ds : Dataset.t) =
                if !count >= budget then raise Exit;
                Obs.Counter.incr c_candidates;
                let ops' = ops @ [ op ] in
-               match validate ds ops' with
-               | Error _ -> Obs.Counter.incr c_rejected
-               | Ok s' ->
-                   let sg = schema_signature s' in
-                   if Hashtbl.mem seen sg then Obs.Counter.incr c_rejected
-                   else begin
-                     Hashtbl.replace seen sg ();
-                     incr count;
-                     Obs.Counter.incr c_generated;
-                     accepted := (Printf.sprintf "fz%d" !count, ops') :: !accepted;
-                     next := (ops', s') :: !next
-                   end)
+               (* cheap schema-level dedup BEFORE the validation
+                  pipeline: a candidate whose canonical signature was
+                  already accepted would be rejected as a duplicate
+                  anyway, so skip the lints and the instance
+                  round-trip (the dominant generation cost at
+                  max_depth > 2, where chained op orders reproduce the
+                  same schemas combinatorially) *)
+               let quick =
+                 match Transform.apply_op_schema s op with
+                 | exception (Transform.Illegal _ | Invalid_argument _) ->
+                     None
+                 | s' -> Some s'
+               in
+               let dup =
+                 match quick with
+                 | Some s' -> Hashtbl.mem seen (schema_signature s')
+                 | None -> false
+               in
+               if dup then begin
+                 Obs.Counter.incr c_rejected;
+                 Obs.Counter.incr c_dup_pruned
+               end
+               else
+                 match validate ds ops' with
+                 | Error _ -> Obs.Counter.incr c_rejected
+                 | Ok s' ->
+                     let sg = schema_signature s' in
+                     if Hashtbl.mem seen sg then Obs.Counter.incr c_rejected
+                     else begin
+                       Hashtbl.replace seen sg ();
+                       incr count;
+                       Obs.Counter.incr c_generated;
+                       accepted := (Printf.sprintf "fz%d" !count, ops') :: !accepted;
+                       next := (ops', s') :: !next
+                     end)
              (shuffle rng (candidate_ops s)))
          !frontier;
        frontier := !next

@@ -78,22 +78,19 @@ let group_key (lits : Atom.t list) =
     lits
   |> List.sort_uniq compare |> String.concat "\x00"
 
-(** [saturation ?expand ~params inst e] builds the ground bottom
-    clause of example [e] relative to [inst].
+(** Retries of a [max_terms]-truncated saturation with a doubled
+    budget (see {!saturation}). *)
+let c_budget_growths = Obs.Counter.create "ilp.saturation.budget_growths"
 
-    Castor's ARMG and negative reduction need the literal order of
-    saturations to {e correspond} across composition/decomposition
-    (Lemmas 7.5 and 7.7 assume an order-preserving mapping between
-    equivalent bottom clauses). Admission order as such is schema
-    dependent — relation lists differ across schemas — so the literals
-    of each iteration are emitted as {e groups} (a triggering tuple
-    together with its IND-chase closure, i.e. one inclusion-class
-    instance) sorted by the group's constant multiset, which is pure
-    data and therefore identical across information-equivalent
-    schemas. *)
-let saturation ?(expand = fun _ _ -> []) ?backend ~params inst (e : Atom.t) =
-  Obs.Span.with_span span_saturation @@ fun () ->
-  Obs.Counter.incr Stats.c_saturations;
+(* how many times a truncated saturation's budget may double before we
+   accept the cut — 3 doublings = 8× the configured budget *)
+let max_budget_growths = 3
+
+(* One saturation pass at a fixed budget. Returns the ground clause
+   plus whether the [max_terms] budget cut it short — i.e. the budget
+   tripped while frontier constants were still pending and iterations
+   remained, so a larger budget could admit more literals. *)
+let saturate_once ~expand ?backend ~params inst (e : Atom.t) =
   (* The frontier neighborhood query always reads through the
      {!Backend} seam; the default wraps [inst] itself, and
      {!Coverage.build} passes whatever backend its spec selected.
@@ -152,9 +149,13 @@ let saturation ?(expand = fun _ _ -> []) ?backend ~params inst (e : Atom.t) =
     | Some m -> n_constants () >= m
     | None -> false
   in
+  let truncated = ref false in
   (try
-     for _i = 1 to params.depth do
-       if over_budget () then raise Exit;
+     for i = 1 to params.depth do
+       if over_budget () then begin
+         if !pending_constants <> [] then truncated := true;
+         raise Exit
+       end;
        (* canonical frontier order: by constant value *)
        let in_play = List.sort Value.compare !pending_constants in
        pending_constants := [];
@@ -207,10 +208,49 @@ let saturation ?(expand = fun _ _ -> []) ?backend ~params inst (e : Atom.t) =
          in_play;
        let sorted = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !groups) in
        List.iter (fun (_, lits) -> List.iter (fun l -> body := l :: !body) lits) sorted;
-       if over_budget () then raise Exit
+       if over_budget () then begin
+         if !pending_constants <> [] && i < params.depth then truncated := true;
+         raise Exit
+       end
      done
    with Exit -> ());
-  Clause.make e (List.rev !body)
+  (Clause.make e (List.rev !body), !truncated)
+
+(** [saturation ?expand ~params inst e] builds the ground bottom
+    clause of example [e] relative to [inst].
+
+    Castor's ARMG and negative reduction need the literal order of
+    saturations to {e correspond} across composition/decomposition
+    (Lemmas 7.5 and 7.7 assume an order-preserving mapping between
+    equivalent bottom clauses). Admission order as such is schema
+    dependent — relation lists differ across schemas — so the literals
+    of each iteration are emitted as {e groups} (a triggering tuple
+    together with its IND-chase closure, i.e. one inclusion-class
+    instance) sorted by the group's constant multiset, which is pure
+    data and therefore identical across information-equivalent
+    schemas.
+
+    {e Adaptive budget}: a [max_terms] cut is itself schema
+    {e dependent} — the same budget admits different constant sets
+    under different decompositions (the fuzzer-found caveat in
+    DESIGN.md), undermining the Lemma 7.5 correspondence exactly when
+    the budget binds. So a saturation that tripped the budget with
+    frontier work remaining is retried from scratch with the budget
+    doubled, up to {!max_budget_growths} times or until it completes
+    untruncated; retries are counted under
+    [ilp.saturation.budget_growths]. *)
+let saturation ?(expand = fun _ _ -> []) ?backend ~params inst (e : Atom.t) =
+  Obs.Span.with_span span_saturation @@ fun () ->
+  Obs.Counter.incr Stats.c_saturations;
+  let rec go params growths =
+    let clause, truncated = saturate_once ~expand ?backend ~params inst e in
+    match params.max_terms with
+    | Some m when truncated && growths < max_budget_growths ->
+        Obs.Counter.incr c_budget_growths;
+        go { params with max_terms = Some (2 * m) } (growths + 1)
+    | _ -> clause
+  in
+  go params 0
 
 (** [variabilize ~schema ~params c] replaces constants by variables
     (one fresh variable per distinct constant), except at positions

@@ -80,30 +80,29 @@ let pattern_of_atom (a : Atom.t) =
         a.Atom.args;
   }
 
-(* Estimated rows one pattern scan touches across all partitions:
-   an indexed probe on the first constant-bearing column, a full
-   relation scan otherwise. Pattern arg j lives at stored column j+1
-   (column 0 is the example id). *)
+(* Estimated rows one pattern scan touches across all partitions: the
+   relation cardinality scaled by the selectivity of every
+   constant-bearing column under the independence assumption —
+   [card × Π_j 1/distinct_count(j)] — a full scan when the pattern
+   carries no constant. Pattern arg j lives at stored column j+1
+   (column 0 is the example id). Backends serve [distinct_count] O(1)
+   (columnar postings are exact; the hash substrates memoize per
+   generation), so probing every constant column is cheap. *)
 let scan_estimate (backend : Backend.t) (p : Algebra.pattern) =
   let module B = (val backend) in
   if not (B.has_relation p.Algebra.prel) then 0.
   else begin
     let card = float_of_int (B.cardinality p.Algebra.prel) in
-    let const =
-      let found = ref None in
-      Array.iteri
-        (fun j a ->
-          match (a, !found) with
-          | Algebra.Aconst v, None -> found := Some (j, v)
-          | _ -> ())
-        p.Algebra.pargs;
-      !found
-    in
-    match const with
-    | Some (j, _) ->
-        let d = B.distinct_count p.Algebra.prel (j + 1) in
-        if d <= 0 then card else card /. float_of_int d
-    | None -> card
+    let est = ref card in
+    Array.iteri
+      (fun j a ->
+        match a with
+        | Algebra.Aconst _ ->
+            let d = B.distinct_count p.Algebra.prel (j + 1) in
+            if d > 0 then est := !est /. float_of_int d
+        | Algebra.Avar _ -> ())
+      p.Algebra.pargs;
+    !est
   end
 
 let est_semijoin backend patterns =

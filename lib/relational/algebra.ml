@@ -153,13 +153,56 @@ let pattern_vars p =
    row.(k + 1) the binding of the k-th variable of [svars]. *)
 type sj_table = { svars : string list; mutable srows : Tuple.t list }
 
-(* Scan one pattern against one backend partition: pick an indexed
-   access path when the pattern carries a constant, filter on
-   constants and repeated variables, and project to (eid, distinct
-   variables), deduplicated. *)
+(* Scan one pattern against one backend partition. The pattern scan is
+   one select-project query: σ on the constants and repeated
+   variables, π to (eid, distinct variables), deduplicated. A backend
+   with a native engine for that shape (the columnar substrate) takes
+   the whole query via [select_project] — posting-list intersections
+   instead of scan-and-filter, memoized across repeated scans — and
+   reports how many stored rows it actually visited, which is what
+   [rows_scanned] counts on the generic path below. Otherwise: pick an
+   indexed access path when the pattern carries a constant, filter,
+   project, dedup. *)
 let scan_pattern (backend : Backend.t) s (p : pattern) =
   let module B = (val backend) in
   let vars = pattern_vars p in
+  let proj_of_vars () =
+    List.map
+      (fun x ->
+        let pos = ref 0 in
+        Array.iteri
+          (fun j a ->
+            match a with
+            | Avar y when String.equal x y && !pos = 0 -> pos := j + 1
+            | _ -> ())
+          p.pargs;
+        !pos)
+      vars
+  in
+  let pushdown =
+    if B.has_relation p.prel && B.arity p.prel = Array.length p.pargs + 1 then begin
+      let consts = ref [] and eqs = ref [] in
+      let first_pos = Hashtbl.create 8 in
+      Array.iteri
+        (fun j a ->
+          match a with
+          | Aconst v -> consts := (j + 1, v) :: !consts
+          | Avar x -> (
+              match Hashtbl.find_opt first_pos x with
+              | None -> Hashtbl.add first_pos x (j + 1)
+              | Some p0 -> eqs := (p0, j + 1) :: !eqs))
+        p.pargs;
+      B.select_project s p.prel ~consts:(List.rev !consts)
+        ~eqs:(List.rev !eqs)
+        ~project:(0 :: proj_of_vars ())
+    end
+    else None
+  in
+  match pushdown with
+  | Some (rows, examined) ->
+      Obs.Counter.add c_rows_scanned examined;
+      { svars = vars; srows = rows }
+  | None ->
   let candidates =
     if not (B.has_relation p.prel) then []
     else begin
@@ -195,20 +238,7 @@ let scan_pattern (backend : Backend.t) s (p : pattern) =
       p.pargs;
     !ok
   in
-  let proj =
-    0
-    :: List.map
-         (fun x ->
-           let pos = ref 0 in
-           Array.iteri
-             (fun j a ->
-               match a with
-               | Avar y when String.equal x y && !pos = 0 -> pos := j + 1
-               | _ -> ())
-             p.pargs;
-           !pos)
-         vars
-  in
+  let proj = 0 :: proj_of_vars () in
   let seen = Hashtbl.create 64 in
   let rows =
     List.filter_map

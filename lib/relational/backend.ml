@@ -84,6 +84,26 @@ module type S = sig
       result size). *)
   val distinct_count : string -> int -> int
 
+  (** [select_project s rel ~consts ~eqs ~project] — optional engine
+      pushdown of one whole pattern scan on partition [s]:
+      [π_project (σ_{consts ∧ eqs} rel)], deduplicated. [consts] are
+      [(column, value)] equality predicates, [eqs] are
+      [(column, column)] equalities (repeated variables), [project]
+      the output columns. [Some (rows, examined)] evaluates the query
+      natively, where [examined] counts the stored rows the engine
+      visited (what the generic path reports as
+      [algebra.semijoin.rows_scanned]); [None] sends the caller down
+      the generic scan-and-filter path. Hash-based substrates return
+      [None]; the columnar engine answers with posting-list
+      intersections and memoized materializations. *)
+  val select_project :
+    int ->
+    string ->
+    consts:(int * Value.t) list ->
+    eqs:(int * int) list ->
+    project:int list ->
+    (Tuple.t list * int) option
+
   (** Mutation counter of the underlying data. Equal generations imply
       the data has not changed; cache keys should include it. *)
   val generation : unit -> int
@@ -117,12 +137,28 @@ let distinct_at tuples pos =
     Value.Set.empty tuples
   |> Value.Set.cardinal
 
+(* Per-backend (rel, pos) -> distinct-count memo, keyed on the data
+   generation: the planner probes the same few columns on every
+   candidate clause, and a full rescan-and-hash per probe (the pre-memo
+   behavior) made cost estimation itself O(n). The table is
+   closure-local to one backend value and only ever touched from the
+   planner's (single-threaded) cost estimation. *)
+let memo_distinct memo gen compute rel pos =
+  let g = gen () in
+  match Hashtbl.find_opt memo (rel, pos) with
+  | Some (g', n) when g' = g -> n
+  | _ ->
+      let n = compute rel pos in
+      Hashtbl.replace memo (rel, pos) (g, n);
+      n
+
 (** The flat {!Instance} behind the backend surface: one partition,
     global secondary indexes, zero-copy (mutations of the wrapped
     instance are immediately visible and bump the generation). *)
 module Instance_backend = struct
   let make (inst : Instance.t) : t =
     Obs.Counter.incr c_wraps;
+    let dmemo = Hashtbl.create 32 in
     (module struct
       let name = "instance"
 
@@ -156,7 +192,12 @@ module Instance_backend = struct
 
       let size () = Instance.size inst
 
-      let distinct_count rel pos = distinct_at (Instance.tuples inst rel) pos
+      let distinct_count =
+        memo_distinct dmemo
+          (fun () -> Instance.generation inst)
+          (fun rel pos -> distinct_at (Instance.tuples inst rel) pos)
+
+      let select_project _ _ ~consts:_ ~eqs:_ ~project:_ = None
 
       let generation () = Instance.generation inst
 
@@ -176,6 +217,7 @@ end
 module Store_backend = struct
   let make (store : Store.t) : t =
     Obs.Counter.incr c_wraps;
+    let dmemo = Hashtbl.create 32 in
     (module struct
       let name = "store"
 
@@ -209,7 +251,12 @@ module Store_backend = struct
 
       let size () = Store.size store
 
-      let distinct_count rel pos = distinct_at (Store.tuples store rel) pos
+      let distinct_count =
+        memo_distinct dmemo
+          (fun () -> Store.generation store)
+          (fun rel pos -> distinct_at (Store.tuples store rel) pos)
+
+      let select_project _ _ ~consts:_ ~eqs:_ ~project:_ = None
 
       let generation () = Store.generation store
 
@@ -223,32 +270,87 @@ module Store_backend = struct
     end)
 end
 
+(** The interned columnar engine ({!Columnar}) behind the backend
+    surface: one partition, per-relation dictionaries, per-position
+    int columns with sorted posting lists — exact O(1) statistics and
+    a native {!S.select_project} pushdown. *)
+module Columnar_backend = struct
+  let make (col : Columnar.t) : t =
+    Obs.Counter.incr c_wraps;
+    (module struct
+      let name = "columnar"
+
+      let relation_names () = Columnar.relation_names col
+
+      let has_relation rel = Columnar.has_relation col rel
+
+      let arity rel = Columnar.arity col rel
+
+      let add rel tu = Columnar.add col rel tu
+
+      let remove rel tu = Columnar.remove col rel tu
+
+      let mem rel tu = Columnar.mem col rel tu
+
+      let tuples rel = Columnar.tuples col rel
+
+      let find rel pos v = Columnar.find col rel pos v
+
+      let find_matching rel bindings = Columnar.find_matching col rel bindings
+
+      let tuples_containing rel v = Columnar.tuples_containing col rel v
+
+      let cardinality rel = Columnar.cardinality col rel
+
+      let size () = Columnar.size col
+
+      let distinct_count rel pos = Columnar.distinct_count col rel pos
+
+      let select_project _ rel ~consts ~eqs ~project =
+        Columnar.select_project col rel ~consts ~eqs ~project
+
+      let generation () = Columnar.generation col
+
+      let n_partitions () = 1
+
+      let partition_of_value _ = 0
+
+      let partition_tuples _ rel = Columnar.tuples col rel
+
+      let find_in_partition _ rel pos v = Columnar.find col rel pos v
+    end)
+end
+
 let of_instance = Instance_backend.make
 
 let of_store = Store_backend.make
+
+let of_columnar = Columnar_backend.make
 
 (* ------------------------------------------------------------------ *)
 (* Specs: how callers ask for a backend                                *)
 (* ------------------------------------------------------------------ *)
 
-(** What kind of substrate to build: the flat instance or the sharded
-    store with [k] shards. This is the value the [--backend] CLI flag
-    and the learner config carry. *)
-type spec = Flat | Sharded of int
+(** What kind of substrate to build: the flat instance, the sharded
+    store with [k] shards, or the interned columnar engine. This is
+    the value the [--backend] CLI flag and the learner config carry. *)
+type spec = Flat | Sharded of int | Columnar
 
 let default_spec = Sharded Store.default_shards
 
 let spec_to_string = function
   | Flat -> "instance"
   | Sharded k -> Printf.sprintf "store:%d" k
+  | Columnar -> "columnar"
 
 (** [spec_of_string s] parses ["instance"], ["store"] (default shard
-    count) or ["store:<k>"].
+    count), ["store:<k>"] or ["columnar"].
     @raise Invalid_argument on anything else. *)
 let spec_of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "instance" | "flat" -> Flat
   | "store" -> Sharded Store.default_shards
+  | "columnar" | "column" -> Columnar
   | other -> (
       match String.index_opt other ':' with
       | Some i
@@ -261,7 +363,8 @@ let spec_of_string s =
           Sharded k
       | _ ->
           invalid_arg
-            ("Backend.spec_of_string: " ^ s ^ " (try instance|store[:shards])"))
+            ("Backend.spec_of_string: " ^ s
+           ^ " (try instance|store[:shards]|columnar)"))
 
 (* a synthetic schema for fresh instance-backed stores built from bare
    (name, arity) pairs — attribute names and domains are never read by
@@ -283,15 +386,17 @@ let create spec rels : t =
   match spec with
   | Sharded k -> of_store (Store.create ~shards:k rels)
   | Flat -> of_instance (Instance.create (synthetic_schema rels))
+  | Columnar -> of_columnar (Columnar.create rels)
 
 (** [load spec inst] presents {!Instance} [inst] through a backend of
     kind [spec]. [Flat] wraps [inst] itself (zero copy — mutations
-    flow through); [Sharded k] loads a sharded copy, a snapshot whose
-    generation moves independently of [inst]. *)
+    flow through); [Sharded k] and [Columnar] load a copy, a snapshot
+    whose generation moves independently of [inst]. *)
 let load spec inst : t =
   match spec with
   | Flat -> of_instance inst
   | Sharded k -> of_store (Store.of_instance ~shards:k inst)
+  | Columnar -> of_columnar (Columnar.of_instance inst)
 
 let name (b : t) =
   let module B = (val b) in

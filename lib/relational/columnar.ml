@@ -1,0 +1,605 @@
+(** Columnar interned relation storage.
+
+    {!Instance} and {!Store} both keep boxed {!Value} tuples in hash
+    sets; every scan and probe re-hashes whole tuples. This substrate
+    is the "do the algebra inside the engine" layout the SQL-for-SRL
+    position paper argues for:
+
+    - every {!Value} is {e interned} to a dense int id through a
+      per-relation dictionary ([intern] / [vals]), so equality anywhere
+      in the engine is int equality and a value is boxed once no matter
+      how many tuples mention it;
+    - each relation is laid out as {e per-position int columns}
+      ([cols.(pos).(slot)] = value id of row [slot]);
+    - every [(position, value-id)] pair keeps a {e posting list} — a
+      sorted int array of the slots holding that value — which is both
+      the secondary index and an exact statistic: [cardinality] is the
+      live-row count, [distinct_count pos] the number of non-empty
+      posting lists at [pos], both O(1) and exact, feeding the coverage
+      planner directly;
+    - {!select_project} evaluates a whole select-project query (the
+      per-pattern scan of {!Algebra.semijoin_batch}) natively:
+      constant predicates become posting-list intersections, repeated
+      variables become int-column comparisons, projection and
+      deduplication happen on value ids, and results are memoized per
+      generation — so a repeated pattern scan (the common case while
+      learning: every candidate clause containing an atom re-scans
+      that relation) costs zero row visits.
+
+    Slots are append-only: [remove] tombstones a row (its postings are
+    spliced, its [live] bit cleared) and never reuses the slot, so
+    posting lists stay sorted by construction. Mutations bump a
+    generation counter like the other substrates.
+
+    Everything is instrumented under [columnar.*]. *)
+
+module Obs = Castor_obs.Obs
+
+let c_builds = Obs.Counter.create "columnar.builds"
+
+let c_adds = Obs.Counter.create "columnar.adds"
+
+let c_removes = Obs.Counter.create "columnar.removes"
+
+let c_interned = Obs.Counter.create "columnar.interned"
+
+let c_postings_scanned = Obs.Counter.create "columnar.postings_scanned"
+
+let c_pushdowns = Obs.Counter.create "columnar.pushdowns"
+
+let c_pushdown_hits = Obs.Counter.create "columnar.pushdown_hits"
+
+let c_rows_decoded = Obs.Counter.create "columnar.rows_decoded"
+
+exception Arity_mismatch of string
+
+(* sorted slot ids; appends stay sorted because slots grow monotonically *)
+type posting = { mutable ids : int array; mutable plen : int }
+
+type crel = {
+  arity : int;
+  intern : (Value.t, int) Hashtbl.t;  (** per-relation dictionary *)
+  mutable vals : Value.t array;  (** id -> value (append-only) *)
+  mutable n_vals : int;
+  mutable cols : int array array;  (** [cols.(pos).(slot)] = value id *)
+  mutable cap : int;  (** allocated slots *)
+  mutable live : Bytes.t;  (** tombstone bitmap-as-bytes per slot *)
+  mutable n_slots : int;  (** allocated slots incl. tombstones *)
+  mutable count : int;  (** live rows *)
+  postings : (int * int, posting) Hashtbl.t;  (** (pos, vid) -> slots *)
+  distinct : int array;  (** per position: # non-empty postings *)
+}
+
+(* one memoized select-project result; the entry is valid while the
+   backend generation it was computed at still holds *)
+type memo_entry = { mgen : int; mrows : Tuple.t list }
+
+type t = {
+  rels : (string, crel) Hashtbl.t;
+  mutable generation : int;
+  memo :
+    (string * (int * Value.t) list * (int * int) list * int list, memo_entry)
+    Hashtbl.t;
+}
+
+let memo_cap = 8192
+
+(** [create rels] builds an empty columnar database for relations
+    given as [(name, arity)] pairs. *)
+let create rels =
+  Obs.Counter.incr c_builds;
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, arity) ->
+      if arity < 1 then invalid_arg "Columnar.create: arity must be >= 1";
+      Hashtbl.replace tbl name
+        {
+          arity;
+          intern = Hashtbl.create 64;
+          vals = [||];
+          n_vals = 0;
+          cols = Array.make arity [||];
+          cap = 0;
+          live = Bytes.empty;
+          n_slots = 0;
+          count = 0;
+          postings = Hashtbl.create 256;
+          distinct = Array.make arity 0;
+        })
+    rels;
+  { rels = tbl; generation = 0; memo = Hashtbl.create 64 }
+
+let generation t = t.generation
+
+let has_relation t rel = Hashtbl.mem t.rels rel
+
+let relation_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.rels [] |> List.sort String.compare
+
+let crel t rel =
+  match Hashtbl.find_opt t.rels rel with
+  | Some cr -> cr
+  | None -> raise (Schema.Unknown_relation rel)
+
+let arity t rel = (crel t rel).arity
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let intern cr v =
+  match Hashtbl.find_opt cr.intern v with
+  | Some id -> id
+  | None ->
+      let id = cr.n_vals in
+      if id = Array.length cr.vals then begin
+        let grown = Array.make (max 16 (2 * id)) v in
+        Array.blit cr.vals 0 grown 0 id;
+        cr.vals <- grown
+      end;
+      cr.vals.(id) <- v;
+      cr.n_vals <- id + 1;
+      Hashtbl.replace cr.intern v id;
+      Obs.Counter.incr c_interned;
+      id
+
+(** [intern_id t rel v] — dictionary lookup without insertion; [None]
+    when [v] was never stored in [rel]. *)
+let intern_id t rel v = Hashtbl.find_opt (crel t rel).intern v
+
+(** [intern_value t rel id] — the value a dense id decodes to.
+    @raise Invalid_argument on an id the dictionary never issued. *)
+let intern_value t rel id =
+  let cr = crel t rel in
+  if id < 0 || id >= cr.n_vals then
+    invalid_arg "Columnar.intern_value: unknown id";
+  cr.vals.(id)
+
+(** Number of dictionary entries of [rel] (ids are [0..size-1]). *)
+let dictionary_size t rel = (crel t rel).n_vals
+
+(* ------------------------------------------------------------------ *)
+(* Posting lists                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let posting_append cr pos vid slot =
+  match Hashtbl.find_opt cr.postings (pos, vid) with
+  | Some p ->
+      if p.plen = Array.length p.ids then begin
+        let grown = Array.make (max 4 (2 * p.plen)) 0 in
+        Array.blit p.ids 0 grown 0 p.plen;
+        p.ids <- grown
+      end;
+      p.ids.(p.plen) <- slot;
+      p.plen <- p.plen + 1
+  | None ->
+      Hashtbl.add cr.postings (pos, vid) { ids = [| slot |]; plen = 1 };
+      cr.distinct.(pos) <- cr.distinct.(pos) + 1
+
+let posting_remove cr pos vid slot =
+  match Hashtbl.find_opt cr.postings (pos, vid) with
+  | None -> ()
+  | Some p ->
+      (* binary search, then splice *)
+      let lo = ref 0 and hi = ref (p.plen - 1) and at = ref (-1) in
+      while !at < 0 && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = p.ids.(mid) in
+        if x = slot then at := mid
+        else if x < slot then lo := mid + 1
+        else hi := mid - 1
+      done;
+      if !at >= 0 then begin
+        Array.blit p.ids (!at + 1) p.ids !at (p.plen - !at - 1);
+        p.plen <- p.plen - 1;
+        if p.plen = 0 then begin
+          Hashtbl.remove cr.postings (pos, vid);
+          cr.distinct.(pos) <- cr.distinct.(pos) - 1
+        end
+      end
+
+let posting_slots cr pos vid =
+  match Hashtbl.find_opt cr.postings (pos, vid) with
+  | Some p -> Some p
+  | None -> None
+
+(* intersection of two sorted slot arrays (the classic merge) *)
+let inter (a : int array) alen (b : int array) blen =
+  let out = Array.make (min alen blen) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < alen && !j < blen do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      out.(!k) <- x;
+      incr k;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done;
+  Obs.Counter.add c_postings_scanned (!i + !j);
+  (out, !k)
+
+(* ------------------------------------------------------------------ *)
+(* Row access                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let decode cr slot : Tuple.t =
+  Obs.Counter.incr c_rows_decoded;
+  Array.init cr.arity (fun p -> cr.vals.(cr.cols.(p).(slot)))
+
+let is_live cr slot = Bytes.get cr.live slot = '\001'
+
+(* the slot holding [tu], found through the smallest posting list of
+   its interned values; None when absent (or some value un-interned) *)
+let slot_of cr (tu : Tuple.t) =
+  let exception Missing in
+  try
+    let vids =
+      Array.map
+        (fun v ->
+          match Hashtbl.find_opt cr.intern v with
+          | Some id -> id
+          | None -> raise Missing)
+        tu
+    in
+    let best = ref None in
+    Array.iteri
+      (fun p vid ->
+        match posting_slots cr p vid with
+        | None -> raise Missing
+        | Some post -> (
+            match !best with
+            | Some (_, b) when b.plen <= post.plen -> ()
+            | _ -> best := Some (p, post)))
+      vids;
+    match !best with
+    | None -> None (* arity-0 relations cannot exist (arity >= 1) *)
+    | Some (_, post) ->
+        let found = ref None in
+        (try
+           for k = 0 to post.plen - 1 do
+             let s = post.ids.(k) in
+             let ok = ref true in
+             for p = 0 to cr.arity - 1 do
+               if cr.cols.(p).(s) <> vids.(p) then ok := false
+             done;
+             if !ok then begin
+               found := Some s;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !found
+  with Missing -> None
+
+let mem t rel (tu : Tuple.t) =
+  let cr = crel t rel in
+  if Tuple.arity tu <> cr.arity then raise (Arity_mismatch rel);
+  slot_of cr tu <> None
+
+(** [add t rel tu] inserts a tuple: interns every value, appends one
+    slot to each column and each posting list. [false] on duplicates
+    (set semantics).
+    @raise Arity_mismatch if the tuple does not fit the sort. *)
+let add t rel (tu : Tuple.t) =
+  if mem t rel tu then false
+  else begin
+    let cr = crel t rel in
+    if cr.n_slots = cr.cap then begin
+      let cap' = max 16 (2 * cr.cap) in
+      cr.cols <-
+        Array.map
+          (fun col ->
+            let grown = Array.make cap' 0 in
+            Array.blit col 0 grown 0 cr.n_slots;
+            grown)
+          cr.cols;
+      let live' = Bytes.make cap' '\000' in
+      Bytes.blit cr.live 0 live' 0 cr.n_slots;
+      cr.live <- live';
+      cr.cap <- cap'
+    end;
+    let slot = cr.n_slots in
+    cr.n_slots <- slot + 1;
+    Array.iteri
+      (fun p v ->
+        let vid = intern cr v in
+        cr.cols.(p).(slot) <- vid;
+        posting_append cr p vid slot)
+      tu;
+    Bytes.set cr.live slot '\001';
+    cr.count <- cr.count + 1;
+    t.generation <- t.generation + 1;
+    Obs.Counter.incr c_adds;
+    true
+  end
+
+(** [remove t rel tu] tombstones a tuple's slot and splices it out of
+    every posting list it occupied; dictionary entries are never
+    reclaimed (ids stay dense and stable). [true] when present. *)
+let remove t rel (tu : Tuple.t) =
+  let cr = crel t rel in
+  if Tuple.arity tu <> cr.arity then raise (Arity_mismatch rel);
+  match slot_of cr tu with
+  | None -> false
+  | Some slot ->
+      Array.iteri (fun p _ -> posting_remove cr p cr.cols.(p).(slot) slot) tu;
+      Bytes.set cr.live slot '\000';
+      cr.count <- cr.count - 1;
+      t.generation <- t.generation + 1;
+      Obs.Counter.incr c_removes;
+      true
+
+(* Aliases matching the delta-maintenance vocabulary of {!Store}. *)
+let add_tuple = add
+
+let remove_tuple = remove
+
+(** [tuples t rel] — full scan, newest slot first (the {!Instance}
+    enumeration convention). *)
+let tuples t rel =
+  let cr = crel t rel in
+  let out = ref [] in
+  for slot = 0 to cr.n_slots - 1 do
+    if is_live cr slot then out := decode cr slot :: !out
+  done;
+  !out
+
+let cardinality t rel = (crel t rel).count
+
+let size t = Hashtbl.fold (fun _ cr acc -> acc + cr.count) t.rels 0
+
+(** [distinct_count t rel pos] — exact and O(1): the number of
+    non-empty posting lists at column [pos]. *)
+let distinct_count t rel pos =
+  let cr = crel t rel in
+  if pos < 0 || pos >= cr.arity then 0 else cr.distinct.(pos)
+
+(** [find t rel pos v] — one posting list, decoded (newest first). *)
+let find t rel pos v =
+  let cr = crel t rel in
+  if pos < 0 || pos >= cr.arity then []
+  else
+    match Hashtbl.find_opt cr.intern v with
+    | None -> []
+    | Some vid -> (
+        match posting_slots cr pos vid with
+        | None -> []
+        | Some p ->
+            let out = ref [] in
+            for k = 0 to p.plen - 1 do
+              out := decode cr p.ids.(k) :: !out
+            done;
+            !out)
+
+(** [find_matching t rel bindings] — posting-list intersection over
+    every [(position, value)] binding. *)
+let find_matching t rel bindings =
+  let cr = crel t rel in
+  let exception Empty in
+  try
+    let posts =
+      List.map
+        (fun (pos, v) ->
+          if pos < 0 || pos >= cr.arity then raise Empty
+          else
+            match Hashtbl.find_opt cr.intern v with
+            | None -> raise Empty
+            | Some vid -> (
+                match posting_slots cr pos vid with
+                | None -> raise Empty
+                | Some p -> p))
+        bindings
+    in
+    match List.sort (fun a b -> compare a.plen b.plen) posts with
+    | [] -> tuples t rel
+    | first :: rest ->
+        let slots, n =
+          List.fold_left
+            (fun (acc, n) p -> inter acc n p.ids p.plen)
+            (first.ids, first.plen) rest
+        in
+        let out = ref [] in
+        for k = 0 to n - 1 do
+          out := decode cr slots.(k) :: !out
+        done;
+        !out
+  with Empty -> []
+
+(** [tuples_containing t rel v] — union of [v]'s posting lists across
+    all positions; slot-level dedup is tuple-level dedup because
+    relations are sets. *)
+let tuples_containing t rel v =
+  let cr = crel t rel in
+  match Hashtbl.find_opt cr.intern v with
+  | None -> []
+  | Some vid ->
+      let slots = ref [] in
+      for pos = 0 to cr.arity - 1 do
+        match posting_slots cr pos vid with
+        | None -> ()
+        | Some p ->
+            for k = 0 to p.plen - 1 do
+              slots := p.ids.(k) :: !slots
+            done
+      done;
+      List.sort_uniq compare !slots |> List.rev_map (decode cr)
+
+(* ------------------------------------------------------------------ *)
+(* Engine pushdown: select-project with memoized results               *)
+(* ------------------------------------------------------------------ *)
+
+(** [select_project t rel ~consts ~eqs ~project] evaluates one whole
+    pattern scan inside the engine:
+    [π_project (σ_{consts ∧ eqs} rel)], deduplicated — where [consts]
+    are [(column, value)] equality predicates, [eqs] are
+    [(column, column)] equalities (repeated variables) and [project]
+    lists the output columns. Selection on constants runs as a
+    posting-list intersection (no row is visited that fails an indexed
+    predicate); repeated-variable checks and projection are int
+    operations on the columns; deduplication keys on projected value
+    ids. Returns [(rows, examined)] where [examined] counts the rows
+    the engine actually visited — the quantity the generic scan path
+    reports as [algebra.semijoin.rows_scanned].
+
+    Results are memoized per (query, generation): while the data does
+    not move, a repeated scan returns the materialized result with
+    [examined = 0]. Returns [None] (caller falls back to the generic
+    path) only for out-of-range columns. *)
+let select_project t rel ~consts ~eqs ~project =
+  match Hashtbl.find_opt t.rels rel with
+  | None -> None
+  | Some cr ->
+      let in_range c = c >= 0 && c < cr.arity in
+      if
+        not
+          (List.for_all (fun (c, _) -> in_range c) consts
+          && List.for_all (fun (a, b) -> in_range a && in_range b) eqs
+          && List.for_all in_range project)
+      then None
+      else begin
+        Obs.Counter.incr c_pushdowns;
+        let key = (rel, consts, eqs, project) in
+        match Hashtbl.find_opt t.memo key with
+        | Some e when e.mgen = t.generation ->
+            Obs.Counter.incr c_pushdown_hits;
+            Some (e.mrows, 0)
+        | _ ->
+            let exception Empty in
+            let candidates =
+              try
+                match consts with
+                | [] ->
+                    (* full scan of live slots *)
+                    let out = Array.make cr.count 0 in
+                    let k = ref 0 in
+                    for slot = 0 to cr.n_slots - 1 do
+                      if is_live cr slot then begin
+                        out.(!k) <- slot;
+                        incr k
+                      end
+                    done;
+                    (out, !k)
+                | _ ->
+                    let posts =
+                      List.map
+                        (fun (c, v) ->
+                          match Hashtbl.find_opt cr.intern v with
+                          | None -> raise Empty
+                          | Some vid -> (
+                              match posting_slots cr c vid with
+                              | None -> raise Empty
+                              | Some p -> p))
+                        consts
+                    in
+                    let sorted =
+                      List.sort (fun a b -> compare a.plen b.plen) posts
+                    in
+                    (match sorted with
+                    | [] -> assert false
+                    | first :: rest ->
+                        List.fold_left
+                          (fun (acc, n) p -> inter acc n p.ids p.plen)
+                          (first.ids, first.plen) rest)
+              with Empty -> ([||], 0)
+            in
+            let slots, n = candidates in
+            let seen = Hashtbl.create 64 in
+            let rows = ref [] in
+            for k = 0 to n - 1 do
+              let slot = slots.(k) in
+              if List.for_all (fun (a, b) -> cr.cols.(a).(slot) = cr.cols.(b).(slot)) eqs
+              then begin
+                let pkey = List.map (fun c -> cr.cols.(c).(slot)) project in
+                if not (Hashtbl.mem seen pkey) then begin
+                  Hashtbl.replace seen pkey ();
+                  rows :=
+                    Array.of_list (List.map (fun c -> cr.vals.(cr.cols.(c).(slot))) project)
+                    :: !rows
+                end
+              end
+            done;
+            let rows = List.rev !rows in
+            if Hashtbl.length t.memo >= memo_cap then Hashtbl.reset t.memo;
+            Hashtbl.replace t.memo key { mgen = t.generation; mrows = rows };
+            Some (rows, n)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Loading and checking                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** [of_instance inst] loads a whole {!Instance} (a snapshot — its
+    generation moves independently of [inst]'s). *)
+let of_instance inst =
+  let schema = Instance.schema inst in
+  let rels =
+    List.map
+      (fun (r : Schema.relation) ->
+        (r.Schema.rname, List.length r.Schema.attrs))
+      schema.Schema.relations
+  in
+  let t = create rels in
+  List.iter
+    (fun (rel, _) ->
+      List.iter (fun tu -> ignore (add t rel tu)) (List.rev (Instance.tuples inst rel)))
+    rels;
+  t
+
+(** [consistent t] checks every derived structure against a
+    from-scratch rebuild of the live rows: postings hold exactly the
+    live slots of their (position, value), sorted; [distinct] counts
+    the non-empty postings; [count] matches the live bitmap; the
+    dictionary round-trips. *)
+let consistent t =
+  Hashtbl.fold
+    (fun _rel cr acc ->
+      acc
+      &&
+      let live_slots = ref [] in
+      for slot = cr.n_slots - 1 downto 0 do
+        if is_live cr slot then live_slots := slot :: !live_slots
+      done;
+      let expected = Hashtbl.create 64 in
+      List.iter
+        (fun slot ->
+          for p = 0 to cr.arity - 1 do
+            let key = (p, cr.cols.(p).(slot)) in
+            Hashtbl.replace expected key
+              (slot :: Option.value ~default:[] (Hashtbl.find_opt expected key))
+          done)
+        !live_slots;
+      cr.count = List.length !live_slots
+      && Hashtbl.length expected = Hashtbl.length cr.postings
+      && Hashtbl.fold
+           (fun key slots ok ->
+             ok
+             &&
+             match Hashtbl.find_opt cr.postings key with
+             | Some p ->
+                 Array.to_list (Array.sub p.ids 0 p.plen)
+                 = List.sort compare slots
+             | None -> false)
+           expected true
+      && Array.for_all Fun.id
+           (Array.init cr.arity (fun p ->
+                cr.distinct.(p)
+                = Hashtbl.fold
+                    (fun (q, _) _ n -> if q = p then n + 1 else n)
+                    cr.postings 0))
+      && Hashtbl.fold
+           (fun v id ok -> ok && id < cr.n_vals && Value.equal cr.vals.(id) v)
+           cr.intern true
+      && Hashtbl.length cr.intern = cr.n_vals)
+    t.rels true
+
+let pp ppf t =
+  List.iter
+    (fun rel ->
+      Fmt.pf ppf "@[<v2>%s (%d tuples, %d dict entries):@,%a@]@." rel
+        (cardinality t rel) (dictionary_size t rel)
+        Fmt.(list ~sep:cut Tuple.pp)
+        (tuples t rel))
+    (relation_names t)

@@ -157,6 +157,15 @@ def main():
         metavar="COUNTER",
         help="fail unless COUNTER is recorded in the current run (zero is fine)",
     )
+    ap.add_argument(
+        "--require-less",
+        action="append",
+        default=[],
+        metavar="A:B",
+        help="fail unless counter A is strictly less than counter B in the "
+        "current run (both must be recorded) — e.g. the columnar backend's "
+        "scan work must stay below the flat layout's",
+    )
     args = ap.parse_args()
 
     if args.merge_into:
@@ -181,6 +190,21 @@ def check_one(path, args):
     for name in args.require_present:
         if name not in cur_counters:
             problems.append(f"required counter {name} is not recorded")
+
+    for pair in args.require_less:
+        a, sep, b = pair.rpartition(":")
+        if not sep or not a:
+            problems.append(f"--require-less {pair!r} is not of the form A:B")
+            continue
+        if a not in cur_counters or b not in cur_counters:
+            missing = ", ".join(n for n in (a, b) if n not in cur_counters)
+            problems.append(f"--require-less {pair}: counter(s) missing: {missing}")
+            continue
+        if not cur_counters[a] < cur_counters[b]:
+            problems.append(
+                f"counter {a} ({cur_counters[a]}) is not strictly below "
+                f"{b} ({cur_counters[b]})"
+            )
 
     base_rate, cur_rate = hit_rate(base_counters), hit_rate(cur_counters)
     if base_rate is not None and cur_rate is not None:

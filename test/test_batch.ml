@@ -18,8 +18,8 @@ let family_inst = family.Castor_datasets.Dataset.instance
 
 let family_ex = family.Castor_datasets.Dataset.examples
 
-(* every substrate the acceptance battery pins: the flat instance and
-   the sharded store at 1/2/4/7 shards *)
+(* every substrate the acceptance battery pins: the flat instance, the
+   sharded store at 1/2/4/7 shards, and the interned columnar engine *)
 let specs =
   [
     Backend.Flat;
@@ -27,6 +27,7 @@ let specs =
     Backend.Sharded 2;
     Backend.Sharded 4;
     Backend.Sharded 7;
+    Backend.Columnar;
   ]
 
 (* body prefixes of each example's variabilized bottom clause — the
@@ -86,7 +87,7 @@ let family_suite =
             in
             differential_on pos cands;
             differential_on neg cands)
-          [ Backend.Flat; Backend.Sharded 4 ];
+          [ Backend.Flat; Backend.Sharded 4; Backend.Columnar ];
         check Alcotest.bool "kernel actually ran" true
           (Obs.Counter.value Algebra.c_batches > before));
     tc "family: the backend is invisible in coverage vectors" (fun () ->

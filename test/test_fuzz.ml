@@ -108,7 +108,9 @@ let divergence_suite =
             Fuzz.seed;
             budget = 2;
             learners = [ "castor"; "foil" ];
-            backends = [ Some Backend.Flat; Some (Backend.Sharded 3) ];
+            backends =
+              [ Some Backend.Flat; Some (Backend.Sharded 3);
+                Some Backend.Columnar ];
             shrink = false;
           }
         in
@@ -116,8 +118,8 @@ let divergence_suite =
         check
           Alcotest.(list (pair string string))
           "no backend mismatches" [] report.Fuzz.rp_backend_mismatches;
-        check Alcotest.bool "both backends swept" true
-          (List.length report.Fuzz.rp_verdicts = 4));
+        check Alcotest.bool "all three backends swept" true
+          (List.length report.Fuzz.rp_verdicts = 6));
   ]
 
 (* ------------- generator: determinism and consistency ------------- *)
@@ -155,6 +157,63 @@ let generator_suite =
         check Alcotest.bool "base signature not regenerated" true
           (not
              (List.mem (Vargen.schema_signature ds.Dataset.schema) sigs)));
+    tc "schema signatures are name-insensitive but structure-preserving"
+      (fun () ->
+        let attr = Schema.attribute in
+        let s1 =
+          Schema.make
+            [
+              Schema.relation "advise"
+                [ attr ~domain:"person" "prof"; attr ~domain:"person" "stud" ];
+              Schema.relation "teach"
+                [ attr ~domain:"person" "prof"; attr ~domain:"course" "c" ];
+            ]
+        in
+        (* same structure, relations and attributes renamed; the shared
+           attribute (prof ↦ p) stays shared so joins are preserved *)
+        let s2 =
+          Schema.make
+            [
+              Schema.relation "t2"
+                [ attr ~domain:"person" "p"; attr ~domain:"course" "k" ];
+              Schema.relation "r9"
+                [ attr ~domain:"person" "p"; attr ~domain:"person" "s" ];
+            ]
+        in
+        check Alcotest.string "renaming preserves the signature"
+          (Vargen.schema_signature s1)
+          (Vargen.schema_signature s2);
+        (* structurally different: no renaming maps a person-course
+           bridge onto a course-course relation — must NOT collapse *)
+        let s3 =
+          Schema.make
+            [
+              Schema.relation "advise"
+                [ attr ~domain:"person" "prof"; attr ~domain:"person" "stud" ];
+              Schema.relation "teach"
+                [ attr ~domain:"course" "c1"; attr ~domain:"course" "c2" ];
+            ]
+        in
+        check Alcotest.bool "structure still distinguishes" true
+          (Vargen.schema_signature s1 <> Vargen.schema_signature s3));
+    tc "depth-3 generation prunes duplicate chains before validation"
+      (fun () ->
+        let ds, _ = Bias.induce (Dataset.strip_bias (Family.generate ())) in
+        let before = Castor_obs.Obs.Counter.value Vargen.c_dup_pruned in
+        let fam = Vargen.generate ~seed ~budget:6 ~max_depth:3 ds in
+        let pruned = Castor_obs.Obs.Counter.value Vargen.c_dup_pruned - before in
+        check Alcotest.bool "variants produced" true (fam <> []);
+        check Alcotest.bool "duplicate chains pruned early" true (pruned > 0);
+        let sigs =
+          List.map
+            (fun (_, ops) ->
+              Vargen.schema_signature
+                (Transform.apply_schema ds.Dataset.schema ops))
+            fam
+        in
+        check Alcotest.int "accepted variants stay pairwise distinct"
+          (List.length sigs)
+          (List.length (List.sort_uniq compare sigs)));
   ]
 
 (* every hand-coded variant of the benchmark datasets lies in the

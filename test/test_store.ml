@@ -159,7 +159,10 @@ let spec_suite =
         parses "store:4" (Backend.Sharded 4);
         (* whitespace and case are forgiven: these arrive from shells *)
         parses "  Store:2 " (Backend.Sharded 2);
-        parses "FLAT" Backend.Flat);
+        parses "FLAT" Backend.Flat;
+        parses "columnar" Backend.Columnar;
+        parses "column" Backend.Columnar;
+        parses " Columnar " Backend.Columnar);
     tc "Backend.spec_to_string round-trips through spec_of_string" (fun () ->
         List.iter
           (fun spec ->
@@ -167,7 +170,7 @@ let spec_suite =
             check Alcotest.bool (s ^ " round-trips") true
               (Backend.spec_of_string s = spec))
           [ Backend.Flat; Backend.Sharded 1; Backend.Sharded 4;
-            Backend.Sharded 64; Backend.default_spec ]);
+            Backend.Sharded 64; Backend.Columnar; Backend.default_spec ]);
     tc "Backend.spec_of_string rejects malformed specs" (fun () ->
         List.iter
           (fun s ->
@@ -177,4 +180,125 @@ let spec_suite =
           [ "store:0"; "store:-3"; "store:x"; "store:"; "shard:2"; "postgres"; "" ]);
   ]
 
-let suite = instance_suite @ store_suite @ spec_suite
+(* -------- Columnar backend: planner statistics and interning ------- *)
+
+let all_specs = [ Backend.Flat; Backend.Sharded 3; Backend.Columnar ]
+
+let apply_ops (backend : Backend.t) ops =
+  let module B = (val backend) in
+  List.iter
+    (fun (add, tu) ->
+      if add then ignore (B.add "r" tu) else ignore (B.remove "r" tu))
+    ops
+
+let model_distinct model pos =
+  List.length
+    (List.sort_uniq Value.compare
+       (List.map (fun (tu : Tuple.t) -> tu.(pos)) model))
+
+let columnar_suite =
+  [
+    qt ~count:200 "cardinality and distinct_count agree across all backends"
+      ops_gen
+      (fun ops ->
+        let backends =
+          List.map (fun spec -> Backend.create spec [ ("r", 3) ]) all_specs
+        in
+        List.iter (fun b -> apply_ops b ops) backends;
+        let model = Tuple.Set.elements (replay_model ops) in
+        List.for_all
+          (fun b ->
+            let module B = (val b : Backend.S) in
+            B.cardinality "r" = List.length model
+            && List.for_all
+                 (fun pos -> B.distinct_count "r" pos = model_distinct model pos)
+                 [ 0; 1; 2 ])
+          backends);
+    qt ~count:100
+      "statistics stay exact after every mutation (memo invalidation)" ops_gen
+      (fun ops ->
+        (* probe the statistics after *each* op: a stale per-generation
+           memo (the distinct_count caches) or stale posting lists would
+           surface as a disagreement with the replayed model mid-way *)
+        List.for_all
+          (fun b ->
+            let module B = (val b : Backend.S) in
+            let model = ref Tuple.Set.empty in
+            List.for_all
+              (fun (add, tu) ->
+                if add then begin
+                  ignore (B.add "r" tu);
+                  model := Tuple.Set.add tu !model
+                end
+                else begin
+                  ignore (B.remove "r" tu);
+                  model := Tuple.Set.remove tu !model
+                end;
+                let m = Tuple.Set.elements !model in
+                B.cardinality "r" = List.length m
+                && List.for_all
+                     (fun pos -> B.distinct_count "r" pos = model_distinct m pos)
+                     [ 0; 1; 2 ])
+              ops)
+          (List.map (fun spec -> Backend.create spec [ ("r", 3) ]) all_specs));
+    qt ~count:200 "intern dictionary round-trips and survives removals" ops_gen
+      (fun ops ->
+        let c = Columnar.create [ ("r", 3) ] in
+        List.iter
+          (fun (add, tu) ->
+            if add then ignore (Columnar.add c "r" tu)
+            else ignore (Columnar.remove c "r" tu))
+          ops;
+        let added =
+          List.filter_map (fun (add, tu) -> if add then Some tu else None) ops
+        in
+        let seen =
+          List.sort_uniq Value.compare
+            (List.concat_map Array.to_list added)
+        in
+        (* every value ever added stays interned — removals tombstone
+           rows but never reclaim dictionary ids *)
+        List.for_all
+          (fun v ->
+            match Columnar.intern_id c "r" v with
+            | None -> false
+            | Some id -> Value.equal v (Columnar.intern_value c "r" id))
+          seen
+        && Columnar.dictionary_size c "r" = List.length seen
+        && Columnar.consistent c);
+    qt ~count:200 "columnar access paths agree with the replayed model"
+      ops_gen
+      (fun ops ->
+        let c = Columnar.create [ ("r", 3) ] in
+        List.iter
+          (fun (add, tu) ->
+            if add then ignore (Columnar.add c "r" tu)
+            else ignore (Columnar.remove c "r" tu))
+          ops;
+        let model = Tuple.Set.elements (replay_model ops) in
+        Columnar.consistent c
+        && List.equal Tuple.equal (sorted (Columnar.tuples c "r")) (sorted model)
+        && List.for_all
+             (fun pos ->
+               List.for_all
+                 (fun i ->
+                   List.equal Tuple.equal
+                     (sorted (Columnar.find c "r" pos (v i)))
+                     (sorted
+                        (List.filter
+                           (fun (tu : Tuple.t) -> Value.equal tu.(pos) (v i))
+                           model)))
+                 [ 0; 1; 2; 3; 4; 5 ])
+             [ 0; 1; 2 ]
+        && List.for_all
+             (fun i ->
+               List.equal Tuple.equal
+                 (sorted (Columnar.tuples_containing c "r" (v i)))
+                 (sorted
+                    (List.filter
+                       (fun tu -> Array.exists (fun x -> Value.equal x (v i)) tu)
+                       model)))
+             [ 0; 1; 2; 3; 4; 5 ]);
+  ]
+
+let suite = instance_suite @ store_suite @ spec_suite @ columnar_suite
