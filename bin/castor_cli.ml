@@ -35,6 +35,59 @@ let backend_of_string s =
   try Backend.spec_of_string s
   with Invalid_argument m -> failwith m
 
+(* ------------------- shared flag surface ------------------------ *)
+(* One parser per flag, shared by every subcommand that accepts it,
+   so `--backend`, `--json`, `-o` and `--seed` spell and behave the
+   same everywhere. Subcommands that are deterministic still accept
+   `--seed` (and ignore it) so sweep scripts can pass a uniform
+   argument vector. *)
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ]
+        ~doc:"Also write the (JSON) report to $(docv)." ~docv:"FILE")
+
+let seed_arg =
+  Arg.(
+    value & opt int 17
+    & info [ "seed" ]
+        ~doc:
+          "Random seed for every seeded stage (fold shuffles, variant \
+           generation, sampling). Deterministic subcommands accept and \
+           ignore it, so scripted sweeps can pass one uniform flag set.")
+
+let backends_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "backend" ]
+        ~doc:
+          "Storage backend spec: $(b,instance) (flat, zero-copy), \
+           $(b,store)[:$(i,SHARDS)] (hash-partitioned) or $(b,columnar) \
+           (interned column store). Repeatable on sweeping subcommands; \
+           single-backend subcommands reject repeats. Default: the \
+           library's sharded store.")
+
+(* single-backend subcommands go through this validator so a repeated
+   --backend fails loudly instead of silently dropping one *)
+let one_backend cmd = function
+  | [] -> None
+  | [ b ] -> Some (backend_of_string b)
+  | _ -> failwith (cmd ^ ": pass --backend at most once")
+
+let write_out out doc =
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc doc;
+      output_char oc '\n';
+      close_out oc)
+    out
+
 (* ---------------------------- learn ----------------------------- *)
 
 let dataset_arg =
@@ -55,43 +108,52 @@ let folds_arg =
     & info [ "k"; "folds" ]
         ~doc:"Cross-validation folds; 0 trains on everything and reports training metrics.")
 
-let backend_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "backend" ]
-        ~doc:
-          "Storage backend for coverage structures: $(b,instance) (flat, \
-           zero-copy) or $(b,store)[:$(i,SHARDS)] (hash-partitioned). Default: \
-           the library's sharded store.")
+let learn_json ~algo ~dataset ~variant ~folds ~time_s (m : Metrics.t)
+    (def : Clause.definition) =
+  Printf.sprintf
+    {|{"algo":%S,"dataset":%S,"variant":%S,"folds":%d,"precision":%.6f,"recall":%.6f,"time_s":%.3f,"clauses":%d}|}
+    algo dataset variant folds m.Metrics.precision m.Metrics.recall time_s
+    (List.length def.Clause.clauses)
 
-let learn dataset variant algo folds backend =
-  let backend = Option.map backend_of_string backend in
+let learn dataset variant algo folds backends json out seed =
+  let backend = one_backend "learn" backends in
   let ds = dataset_of_name dataset in
   let vname = Option.value ~default:(fst (List.hd ds.Dataset.variants)) variant in
   let a = algo_of_name ?backend algo in
   let prep = Experiment.prepare ?backend ds vname in
-  if folds > 0 then begin
-    let row = Experiment.crossval ~folds prep a in
-    Fmt.pr "%s on %s/%s (%d-fold CV):@." a.Experiment.algo_name dataset vname folds;
-    Fmt.pr "  precision %.3f  recall %.3f  time/fold %.2fs@."
-      row.Experiment.metrics.Metrics.precision row.Experiment.metrics.Metrics.recall
-      row.Experiment.time_s;
-    Fmt.pr "@.last-fold definition:@.%a@." Clause.pp_definition row.Experiment.definition
-  end
+  let m, def, time_s =
+    if folds > 0 then begin
+      let row = Experiment.crossval ~seed ~folds prep a in
+      (row.Experiment.metrics, row.Experiment.definition, row.Experiment.time_s)
+    end
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let def = Experiment.train_full ~seed prep a in
+      let dt = Unix.gettimeofday () -. t0 in
+      let n_pos = Castor_ilp.Coverage.length prep.Experiment.all_pos in
+      let n_neg = Castor_ilp.Coverage.length prep.Experiment.all_neg in
+      let m =
+        Experiment.test_metrics prep def
+          (Array.init n_pos Fun.id, Array.init n_neg Fun.id)
+      in
+      (m, def, dt)
+    end
+  in
+  let doc =
+    learn_json ~algo:a.Experiment.algo_name ~dataset ~variant:vname ~folds
+      ~time_s m def
+  in
+  write_out out doc;
+  if json then print_endline doc
   else begin
-    let t0 = Unix.gettimeofday () in
-    let def = Experiment.train_full prep a in
-    let dt = Unix.gettimeofday () -. t0 in
-    let n_pos = Castor_ilp.Coverage.length prep.Experiment.all_pos in
-    let n_neg = Castor_ilp.Coverage.length prep.Experiment.all_neg in
-    let m =
-      Experiment.test_metrics prep def
-        (Array.init n_pos Fun.id, Array.init n_neg Fun.id)
-    in
-    Fmt.pr "%s on %s/%s (training set, %.2fs):@." a.Experiment.algo_name dataset
-      vname dt;
-    Fmt.pr "  precision %.3f  recall %.3f@." m.Metrics.precision m.Metrics.recall;
+    if folds > 0 then
+      Fmt.pr "%s on %s/%s (%d-fold CV):@." a.Experiment.algo_name dataset vname
+        folds
+    else
+      Fmt.pr "%s on %s/%s (training set, %.2fs):@." a.Experiment.algo_name
+        dataset vname time_s;
+    Fmt.pr "  precision %.3f  recall %.3f@." m.Metrics.precision
+      m.Metrics.recall;
     Fmt.pr "@.definition:@.%a@." Clause.pp_definition def
   end
 
@@ -100,7 +162,7 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"Learn a target relation definition over a schema variant.")
     Term.(
       const learn $ dataset_arg $ variant_arg $ algo_arg $ folds_arg
-      $ backend_arg)
+      $ backends_arg $ json_arg $ out_arg $ seed_arg)
 
 (* --------------------------- schemas ---------------------------- *)
 
@@ -170,7 +232,7 @@ let oracle_cmd =
       const oracle
       $ Arg.(value & opt int 5 & info [ "vars" ] ~doc:"Variables per clause.")
       $ Arg.(value & opt int 2 & info [ "clauses" ] ~doc:"Clauses in the target.")
-      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed."))
+      $ seed_arg)
 
 (* ---------------------------- export ---------------------------- *)
 
@@ -259,9 +321,9 @@ let sql_cmd =
 
 (* ----------------------------- stats ----------------------------- *)
 
-let stats dataset variant algo domains json backend =
+let stats dataset variant algo domains json backends out seed =
   let module Obs = Castor_obs.Obs in
-  let backend = Option.map backend_of_string backend in
+  let backend = one_backend "stats" backends in
   let ds = dataset_of_name dataset in
   let vname = Option.value ~default:(fst (List.hd ds.Dataset.variants)) variant in
   let a = algo_of_name ~domains ?backend algo in
@@ -269,7 +331,8 @@ let stats dataset variant algo domains json backend =
   Castor_ilp.Coverage.set_domains prep.Experiment.all_pos domains;
   Castor_ilp.Coverage.set_domains prep.Experiment.all_neg domains;
   Obs.reset ();
-  let def = Experiment.train_full prep a in
+  let def = Experiment.train_full ~seed prep a in
+  write_out out (Obs.to_json ());
   if json then print_endline (Obs.to_json ())
   else begin
     Fmt.pr "%s on %s/%s learned %d clause(s); observability report:@.@."
@@ -305,8 +368,7 @@ let stats_cmd =
       $ Arg.(
           value & opt int 1
           & info [ "domains" ] ~doc:"Parallel coverage-test domains.")
-      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
-      $ backend_arg)
+      $ json_arg $ backends_arg $ out_arg $ seed_arg)
 
 (* ---------------------------- discover --------------------------- *)
 
@@ -367,7 +429,35 @@ let print_rule_catalog () =
         r.Analyze.doc)
     Analyze.rules
 
-let analyze dataset clauses_file clause_str sources rules json =
+(* shared tail of both analyze paths: emit, optionally persist, and
+   set the exit status from the error count *)
+let emit_diagnostics groups json out =
+  let all = List.concat_map snd groups in
+  write_out out (Diagnostic.to_json all);
+  if json then print_endline (Diagnostic.to_json all)
+  else begin
+    List.iter
+      (fun (label, diags) ->
+        if diags <> [] then begin
+          Fmt.pr "== %s ==@." label;
+          print_string (Diagnostic.render diags)
+        end)
+      groups;
+    if all = [] then Fmt.pr "analyze: no diagnostics@."
+    else
+      Fmt.pr "analyze: %d diagnostic(s), %d error(s) total@."
+        (List.length all)
+        (List.length (Diagnostic.errors all))
+  end;
+  if Diagnostic.has_errors all then exit 1
+
+let analyze dataset clauses_file clause_str sources rules json backends out seed
+    =
+  (* analysis is deterministic and reads no stored coverage data: the
+     seed and backend are validated then ignored, accepted only so
+     sweep scripts can pass one uniform flag set across subcommands *)
+  ignore (seed : int);
+  ignore (one_backend "analyze" backends);
   if rules then print_rule_catalog ()
   else if sources <> [] then begin
     (* OCaml-source lints run standalone: no dataset context needed.
@@ -377,23 +467,7 @@ let analyze dataset clauses_file clause_str sources rules json =
     let groups =
       Analyze.sources (List.map (fun f -> (f, read_file f)) sources)
     in
-    let all = List.concat_map snd groups in
-    if json then print_endline (Diagnostic.to_json all)
-    else begin
-      List.iter
-        (fun (label, diags) ->
-          if diags <> [] then begin
-            Fmt.pr "== %s ==@." label;
-            print_string (Diagnostic.render diags)
-          end)
-        groups;
-      if all = [] then Fmt.pr "analyze: no diagnostics@."
-      else
-        Fmt.pr "analyze: %d diagnostic(s), %d error(s) total@."
-          (List.length all)
-          (List.length (Diagnostic.errors all))
-    end;
-    if Diagnostic.has_errors all then exit 1
+    emit_diagnostics groups json out
   end
   else begin
     let ds = dataset_of_name dataset in
@@ -426,23 +500,7 @@ let analyze dataset clauses_file clause_str sources rules json =
                   ~target:ds.Dataset.target text ))
             texts
     in
-    let all = List.concat_map snd groups in
-    if json then print_endline (Diagnostic.to_json all)
-    else begin
-      List.iter
-        (fun (label, diags) ->
-          if diags <> [] then begin
-            Fmt.pr "== %s ==@." label;
-            print_string (Diagnostic.render diags)
-          end)
-        groups;
-      if all = [] then Fmt.pr "analyze: no diagnostics@."
-      else
-        Fmt.pr "analyze: %d diagnostic(s), %d error(s) total@."
-          (List.length all)
-          (List.length (Diagnostic.errors all))
-    end;
-    if Diagnostic.has_errors all then exit 1
+    emit_diagnostics groups json out
   end
 
 let analyze_cmd =
@@ -470,7 +528,7 @@ let analyze_cmd =
                  lookups that bypass the Backend seam (repeatable)."
               ~docv:"FILE")
       $ Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalog and exit.")
-      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text."))
+      $ json_arg $ backends_arg $ out_arg $ seed_arg)
 
 (* ----------------------------- fuzz ------------------------------ *)
 
@@ -505,13 +563,7 @@ let fuzz dataset seed budget max_depth learners backends no_induce no_shrink
   in
   let report = Fuzz.run ~config ds in
   let doc = Fuzz.report_to_json report in
-  Option.iter
-    (fun path ->
-      let oc = open_out path in
-      output_string oc doc;
-      output_char oc '\n';
-      close_out oc)
-    out;
+  write_out out doc;
   if json then print_endline doc
   else begin
     Fmt.pr "fuzz %s: seed %d, %d generated variant(s)@." dataset seed
@@ -558,8 +610,7 @@ let fuzz_cmd =
           schema-independence failure to a minimal counterexample. Exits \
           nonzero when an expected-independent learner diverges.")
     Term.(
-      const fuzz $ dataset_arg
-      $ Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Generation and training seed.")
+      const fuzz $ dataset_arg $ seed_arg
       $ Arg.(
           value & opt int 8
           & info [ "budget" ] ~doc:"Maximum number of generated variants.")
@@ -570,20 +621,13 @@ let fuzz_cmd =
           value & opt_all string []
           & info [ "a"; "algo" ]
               ~doc:"Learner to sweep (repeatable; default: every registered learner).")
-      $ Arg.(
-          value & opt_all string []
-          & info [ "backend" ]
-              ~doc:"Backend spec to sweep (repeatable; default: learner default).")
+      $ backends_arg
       $ Arg.(
           value & flag
           & info [ "no-induce" ]
               ~doc:"Keep the dataset's hand-written bias instead of re-inducing it.")
       $ Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
-      $ Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report to stdout.")
-      $ Arg.(
-          value
-          & opt (some string) None
-          & info [ "o"; "out" ] ~doc:"Also write the JSON report to $(docv)." ~docv:"FILE")
+      $ json_arg $ out_arg
       $ Arg.(
           value
           & opt_all string [ "castor" ]

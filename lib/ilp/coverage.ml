@@ -15,26 +15,47 @@
     to the cost-based {!Planner}.
 
     Two optimizations from the paper are implemented here: a
-    memoization table keyed by the backend generation plus
-    {!Clause.canonical_key} — a structural, variable-normalized key,
-    so α-equivalent clauses produced by different ARMG paths share one
-    entry, and vectors memoized against since-mutated data can never
-    be served — and the generality shortcut: when testing a clause
-    known to be more general than a previously tested one, the
-    examples already covered need not be re-tested. Coverage tests can
-    also be fanned out over domains ({!Parallel}). *)
+    memoization table keyed by {!Clause.canonical_key} — a structural,
+    variable-normalized key, so α-equivalent clauses produced by
+    different ARMG paths share one entry — and the generality
+    shortcut: when testing a clause known to be more general than a
+    previously tested one, the examples already covered need not be
+    re-tested. Coverage tests can also be fanned out over domains
+    ({!Parallel}).
+
+    {2 Online updates}
+
+    The structure subscribes to the source backend's delta stream
+    ({!Backend.subscribe}). When the source mutates, the next coverage
+    query drains the pending deltas and {e patches} itself instead of
+    rebuilding: the private saturation substrate absorbs the batch
+    ([Backend.apply]), only the examples whose neighborhood shares a
+    constant with a delta tuple are re-saturated, their facts are
+    add/removed in place inside the eid-keyed example store, and
+    memoized vectors are lazily re-tested at exactly the patched
+    example positions. A full rebuild survives only as a fallback —
+    when a delta touches the target relation (retracting or creating
+    label support) or when the delta log cannot account for the whole
+    generation gap — counted separately under
+    [ilp.coverage.full_refreshes]. *)
 
 open Castor_relational
 open Castor_logic
 module Obs = Castor_obs.Obs
 
+(* One memoized coverage vector. [egen] is the source generation the
+   bits are valid at; an entry left behind by an incremental refresh
+   is patched lazily (only the positions the refresh re-saturated are
+   re-tested) instead of being thrown away. *)
+type entry = { mutable egen : int; ev : bool array }
+
 type t = {
   examples : Atom.t array;
   mutable bottoms : Clause.t array;
-      (** ground bottom clause per example; rebuilt by {!refresh} when
-          the source instance mutates *)
+      (** ground bottom clause per example; patched (affected examples
+          only) or rebuilt by {!refresh} when the source mutates *)
   max_steps : int;
-  cache : (string, bool array) Hashtbl.t;
+  cache : (string, entry) Hashtbl.t;
   mutable cache_enabled : bool;
   mutable domains : int;
   mutable force_parallel : bool;
@@ -42,8 +63,12 @@ type t = {
           used by tests that must exercise real worker domains *)
   inst : Instance.t;  (** the source database the examples live in *)
   source : Backend.t;
-      (** zero-copy backend over [inst] — its generation counter is
-          how mutation of the source data is detected *)
+      (** zero-copy backend over [inst]; its delta stream drives the
+          incremental refresh and its generation marks staleness *)
+  mutable data : Backend.t;
+      (** the saturation substrate ([spec] over [inst]); kept alive
+          across refreshes so deltas can be absorbed instead of
+          reloading the whole instance *)
   mutable spec : Backend.spec;
       (** which substrate saturation lookups and the example store are
           built on; {!set_backend} switches it *)
@@ -59,8 +84,20 @@ type t = {
           via {!sub} remaps indexes but shares the store *)
   mutable batch_enabled : bool;
   mutable src_gen : int;
-      (** [source]'s generation when [bottoms]/[ex_store] were built;
-          a disagreement with the live counter marks them stale *)
+      (** [source]'s generation when [bottoms]/[ex_store] were last
+          brought up to date *)
+  pending : Delta.t list ref;
+      (** deltas the subscription delivered since [src_gen], newest
+          first; drained by {!refresh} *)
+  mutable dirty_log : (int * int array) list;
+      (** incremental-refresh history, newest first: [(gen, affected)]
+          records that reaching generation [gen] re-saturated exactly
+          the local positions [affected] — what lazy cache patching
+          replays *)
+  mutable log_floor : int;
+      (** generation below which the retained [dirty_log] no longer
+          covers history; entries with [egen < log_floor] cannot be
+          patched and are recomputed in full *)
 }
 
 (* Load every ground saturation into an example-keyed backend:
@@ -115,12 +152,16 @@ let saturate_all ?expand ~params ~backend inst examples =
     precomputes the saturations of [examples]. [backend] selects the
     storage substrate ({!Backend.spec}; default the sharded store)
     that both saturation neighborhood queries and the batched coverage
-    kernel run against. *)
+    kernel run against. The structure subscribes to [inst]'s delta
+    stream, so later mutations are absorbed incrementally. *)
 let build ?expand ~params ?(max_steps = 250_000)
     ?(backend = Backend.default_spec) inst (examples : Atom.t array) =
   let source = Backend.of_instance inst in
   let data = Backend.load backend inst in
   let bottoms = saturate_all ?expand ~params ~backend:data inst examples in
+  let pending = ref [] in
+  Backend.subscribe source (fun ds -> pending := List.rev_append ds !pending);
+  let src_gen = Backend.generation source in
   {
     examples;
     bottoms;
@@ -131,13 +172,17 @@ let build ?expand ~params ?(max_steps = 250_000)
     force_parallel = false;
     inst;
     source;
+    data;
     spec = backend;
     expand;
     params;
     ex_store = example_store ~spec:backend inst examples bottoms;
     eids = Array.init (Array.length examples) Fun.id;
     batch_enabled = true;
-    src_gen = Backend.generation source;
+    src_gen;
+    pending;
+    dirty_log = [];
+    log_floor = src_gen;
   }
 
 let length t = Array.length t.examples
@@ -160,42 +205,178 @@ let c_key_builds = Obs.Counter.create "ilp.coverage.key_builds"
 
 let c_cache_misses = Obs.Counter.create "ilp.coverage.cache_misses"
 
-(** How often a stale source instance forced bottoms, example store
-    and memo table to be rebuilt. *)
+(** How often a stale source was detected and brought up to date (by
+    either path — see [full_refreshes] for the expensive one). *)
 let c_refreshes = Obs.Counter.create "ilp.coverage.refreshes"
 
-(* The memo key carries the source generation in front of the
-   structural clause key: a vector computed against generation g can
-   only ever answer queries at generation g. (Refresh also resets the
-   table; the prefix makes staleness impossible by construction even
-   for entries that survive a reset race.) *)
-let cache_key t clause =
-  Obs.Counter.incr c_key_builds;
-  string_of_int t.src_gen ^ "#" ^ Clause.canonical_key clause
+(** Fallback rebuilds: bottoms, example store and memo table all
+    recomputed from scratch because a delta touched the target
+    relation or the delta log could not account for the generation
+    gap. The online-update promise is this counter staying at zero on
+    non-target mutation streams. *)
+let c_full_refreshes = Obs.Counter.create "ilp.coverage.full_refreshes"
 
-(* Rebuild everything derived from the source instance. Saturations,
-   the example store and every memoized vector reflect the tuples at
-   some generation; when the live counter disagrees, recompute them
-   against the current data. *)
+(** Deltas absorbed incrementally (patch path, per delta). *)
+let c_delta_applied = Obs.Counter.create "ilp.coverage.delta_applied"
+
+(** Per-example incremental re-saturations triggered by deltas. *)
+let c_delta_rounds = Obs.Counter.create "ilp.saturation.delta_rounds"
+
+(** Memoized vectors lazily re-tested at patched positions only. *)
+let c_cache_patches = Obs.Counter.create "ilp.coverage.cache_patches"
+
+let cache_key t clause =
+  ignore t;
+  Obs.Counter.incr c_key_builds;
+  Clause.canonical_key clause
+
+(* How many incremental-refresh history entries are retained for lazy
+   cache patching; a vector untouched for longer is recomputed. *)
+let dirty_log_cap = 32
+
+(* ---------------- refresh: full fallback ---------------------------- *)
+
+(* Rebuild everything derived from the source instance, from scratch.
+   The planner's statistics memo is dropped too: it may hold
+   distinct counts stamped by the example store being replaced. *)
+let full_refresh t gen =
+  Obs.Counter.incr c_full_refreshes;
+  let data = Backend.load t.spec t.inst in
+  t.data <- data;
+  t.bottoms <-
+    saturate_all ?expand:t.expand ~params:t.params ~backend:data t.inst
+      t.examples;
+  t.ex_store <- example_store ~spec:t.spec t.inst t.examples t.bottoms;
+  t.eids <- Array.init (Array.length t.examples) Fun.id;
+  Hashtbl.reset t.cache;
+  t.dirty_log <- [];
+  t.log_floor <- gen;
+  Planner.invalidate_statistics ();
+  t.src_gen <- gen
+
+(* ---------------- refresh: incremental patch ------------------------ *)
+
+(* Swap example [i]'s saturation inside the shared example store:
+   delete the old clause's facts under the example's eid, insert the
+   new clause's. Set semantics make the sequence idempotent, so a
+   parent and a [sub] structure patching the same shared store (same
+   eid, same old/new clauses — saturation is deterministic) converge
+   to the same state. *)
+let patch_ex_store t i (old_b : Clause.t) (new_b : Clause.t) =
+  match t.ex_store with
+  | None -> ()
+  | Some store ->
+      let module B = (val store : Backend.S) in
+      let eid = Value.int t.eids.(i) in
+      let del (a : Atom.t) =
+        if Atom.is_ground a then
+          ignore (B.remove a.Atom.rel (Array.append [| eid |] (Atom.to_tuple a)))
+      in
+      let put (a : Atom.t) =
+        if Atom.is_ground a then
+          ignore (B.add a.Atom.rel (Array.append [| eid |] (Atom.to_tuple a)))
+      in
+      del old_b.Clause.head;
+      List.iter del old_b.Clause.body;
+      put new_b.Clause.head;
+      List.iter put new_b.Clause.body
+
+(* Conservative affectedness: example [i]'s saturation can only change
+   if a delta tuple shares a constant with its current neighborhood.
+   Sound in both directions: an added tuple enters the neighborhood
+   only through a lookup on an in-neighborhood constant (so it shares
+   one), and a removed tuple can only have participated in such a
+   lookup if it mentions an in-neighborhood constant — bottoms are
+   ground, so "neighborhood constants" is exactly the constants of
+   the bottom clause (head included). *)
+let affected_positions t ds =
+  let dvals : (Value.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun d -> Array.iter (fun v -> Hashtbl.replace dvals v ()) (Delta.tuple d))
+    ds;
+  let atom_touched (a : Atom.t) =
+    Array.exists
+      (function Term.Const v -> Hashtbl.mem dvals v | Term.Var _ -> false)
+      a.Atom.args
+  in
+  let clause_touched (c : Clause.t) =
+    atom_touched c.Clause.head || List.exists atom_touched c.Clause.body
+  in
+  Array.of_list
+    (List.filter
+       (fun i -> clause_touched t.bottoms.(i))
+       (List.init (Array.length t.bottoms) Fun.id))
+
+let incremental_refresh t ds gen =
+  (* catch the private saturation substrate up; set semantics make
+     re-application a no-op when [data] aliases the source (the Flat
+     zero-copy wrapper) or when a shared [sub] already absorbed it *)
+  Backend.apply t.data ds;
+  Obs.Counter.add c_delta_applied (List.length ds);
+  let affected = affected_positions t ds in
+  Array.iter
+    (fun i ->
+      Obs.Counter.incr c_delta_rounds;
+      let old_b = t.bottoms.(i) in
+      let new_b =
+        Bottom.saturation ?expand:t.expand ~backend:t.data ~params:t.params
+          t.inst t.examples.(i)
+      in
+      t.bottoms.(i) <- new_b;
+      patch_ex_store t i old_b new_b)
+    affected;
+  if Array.length affected > 0 then begin
+    t.dirty_log <- (gen, affected) :: t.dirty_log;
+    (* bound the history; vectors older than the retained window are
+       recomputed instead of patched *)
+    let rec take k = function
+      | x :: tl when k > 0 ->
+          let kept, dropped = take (k - 1) tl in
+          (x :: kept, dropped)
+      | rest -> ([], rest)
+    in
+    let kept, dropped = take dirty_log_cap t.dirty_log in
+    (match dropped with
+    | (g, _) :: _ ->
+        t.dirty_log <- kept;
+        t.log_floor <- g
+    | [] -> ())
+  end;
+  t.src_gen <- gen
+
+(* Bring the structure up to date with the source. The subscribed
+   delta stream must account for the whole generation gap (it always
+   does single-threaded; the length check is a defensive fallback) and
+   must not touch the target relation — the example store keys label
+   facts by eid and the fallback keeps that path simple and obviously
+   correct. Everything else rides the patch path. *)
 let refresh t =
   let gen = Backend.generation t.source in
   if gen <> t.src_gen then begin
     Obs.Counter.incr c_refreshes;
-    let data = Backend.load t.spec t.inst in
-    t.bottoms <-
-      saturate_all ?expand:t.expand ~params:t.params ~backend:data t.inst
-        t.examples;
-    t.ex_store <- example_store ~spec:t.spec t.inst t.examples t.bottoms;
-    t.eids <- Array.init (Array.length t.examples) Fun.id;
-    Hashtbl.reset t.cache;
-    t.src_gen <- gen
+    let ds = List.rev !(t.pending) in
+    t.pending := [];
+    let lost = List.length ds <> gen - t.src_gen in
+    let target_touched =
+      List.exists
+        (fun d ->
+          let r = Delta.rel d in
+          Array.exists (fun (e : Atom.t) -> String.equal e.Atom.rel r) t.examples)
+        ds
+    in
+    if lost || target_touched then full_refresh t gen
+    else incremental_refresh t ds gen
   end
 
 (** [sub t idxs] is the coverage structure restricted to the examples
-    at [idxs] — saturations are shared, so cross-validation folds cost
-    nothing extra. (Until the source mutates: a refresh re-saturates
-    the restricted examples privately.) *)
+    at [idxs] — saturations and the example store are shared, so
+    cross-validation folds cost nothing extra. The restriction gets
+    its own delta subscription (seeded with the parent's outstanding
+    deltas), so both structures absorb later mutations independently
+    and idempotently. *)
 let sub t idxs =
+  let pending = ref !(t.pending) in
+  Backend.subscribe t.source (fun ds -> pending := List.rev_append ds !pending);
   {
     examples = Array.map (fun i -> t.examples.(i)) idxs;
     bottoms = Array.map (fun i -> t.bottoms.(i)) idxs;
@@ -206,6 +387,7 @@ let sub t idxs =
     force_parallel = t.force_parallel;
     inst = t.inst;
     source = t.source;
+    data = t.data;
     spec = t.spec;
     expand = t.expand;
     params = t.params;
@@ -213,6 +395,9 @@ let sub t idxs =
     eids = Array.map (fun i -> t.eids.(i)) idxs;
     batch_enabled = t.batch_enabled;
     src_gen = t.src_gen;
+    pending;
+    dirty_log = [];
+    log_floor = t.src_gen;
   }
 
 let set_domains t n = t.domains <- max 1 n
@@ -230,15 +415,20 @@ let set_batch t b = t.batch_enabled <- b
 let backend_spec t = t.spec
 
 (** [set_backend t spec] re-bases the structure on another storage
-    substrate: the example-saturation store is rebuilt under [spec]
-    and subsequent refreshes load through it. Bottom clauses are
-    canonical — independent of the serving backend — so they are kept;
-    coverage semantics are unchanged by construction. *)
+    substrate: the saturation substrate and the example-saturation
+    store are rebuilt under [spec] and subsequent refreshes patch
+    through them. Bottom clauses are canonical — independent of the
+    serving backend — so they are kept; coverage semantics are
+    unchanged by construction. The planner's memoized statistics are
+    invalidated: they were stamped with the replaced store's
+    generations, which the fresh substrate restarts. *)
 let set_backend t spec =
   if spec <> t.spec then begin
     t.spec <- spec;
+    t.data <- Backend.load spec t.inst;
     t.ex_store <- example_store ~spec t.inst t.examples t.bottoms;
-    t.eids <- Array.init (Array.length t.examples) Fun.id
+    t.eids <- Array.init (Array.length t.examples) Fun.id;
+    Planner.invalidate_statistics ()
   end
 
 (** The example-saturation backend, when the kernel is available —
@@ -312,6 +502,56 @@ let subsumes_noted ~max_steps (bottoms : Clause.t array) clause i =
   Planner.note_actual (Obs.Counter.value Subsume.c_steps - steps0);
   r
 
+(* Coverage bits of [clause] at exactly the given local positions —
+   the planner dispatches, the workload is the positions array. Both
+   the vector miss path and lazy cache patching funnel through here. *)
+let compute_positions t clause (positions : int array) =
+  if Array.length positions = 0 then [||]
+  else
+    match (plan t ~n_undecided:(Array.length positions) clause).Planner.strategy with
+    | Planner.Semijoin patterns -> run_semijoin t patterns positions
+    | Planner.Subsumption ->
+        (* the test closure runs on worker domains, so it captures a
+           snapshot of the mutable state it needs instead of reading
+           fields of [t] concurrently *)
+        let bottoms = t.bottoms and max_steps = t.max_steps in
+        let k = Array.length positions in
+        let test j = subsumes_noted ~max_steps bottoms clause positions.(j) in
+        let force = t.force_parallel and domains = t.domains in
+        if domains <= 1 then Array.init k test
+        else Parallel.init ~force ~domains k test
+
+(* Dirty positions of a cache entry stamped [egen]: the union of every
+   retained incremental refresh newer than it. *)
+let dirty_since t egen =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (g, affected) ->
+      if g > egen then
+        Array.iter (fun i -> Hashtbl.replace seen i ()) affected)
+    t.dirty_log;
+  Array.of_list (List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) seen []))
+
+(* Cache lookup with lazy patching: a fresh entry answers directly; an
+   entry left stale by incremental refreshes is re-tested at exactly
+   the positions those refreshes re-saturated, then promoted to the
+   current generation; an entry older than the retained history reads
+   as a miss (the caller recomputes and replaces it). *)
+let cached_vector t clause key =
+  if not t.cache_enabled then None
+  else
+    match Hashtbl.find_opt t.cache key with
+    | None -> None
+    | Some e when e.egen = t.src_gen -> Some e.ev
+    | Some e when e.egen >= t.log_floor ->
+        let dirty = dirty_since t e.egen in
+        let bits = compute_positions t clause dirty in
+        Array.iteri (fun j pos -> e.ev.(pos) <- bits.(j)) dirty;
+        e.egen <- t.src_gen;
+        Obs.Counter.incr c_cache_patches;
+        Some e.ev
+    | Some _ -> None
+
 (** [covers t clause i] tests coverage of the [i]-th example alone. A
     full vector cached for the same (α-equivalent) clause answers
     without any test; otherwise the planner picks between a
@@ -321,10 +561,7 @@ let subsumes_noted ~max_steps (bottoms : Clause.t array) clause i =
 let covers t clause i =
   Obs.Span.with_span span_covers @@ fun () ->
   refresh t;
-  match
-    if t.cache_enabled then Hashtbl.find_opt t.cache (cache_key t clause)
-    else None
-  with
+  match cached_vector t clause (cache_key t clause) with
   | Some v ->
       Obs.Counter.incr Stats.c_cache_hits;
       Planner.note_cached ();
@@ -347,8 +584,8 @@ let covers t clause i =
     (Section 7.5.4). *)
 let vector ?assume ?within t clause =
   refresh t;
-  (* masked queries bypass the cache: their vectors are only valid for
-     that particular mask *)
+  (* masked queries bypass cache insertion: their vectors are only
+     valid for that particular mask *)
   let cacheable = t.cache_enabled && assume = None && within = None in
   let key = cache_key t clause in
   let t0 = Unix.gettimeofday () in
@@ -358,7 +595,7 @@ let vector ?assume ?within t clause =
       Obs.Reservoir.note slow_vectors dt key)
   @@ fun () ->
   Obs.Counter.incr Stats.c_coverage_vectors;
-  match (if t.cache_enabled then Hashtbl.find_opt t.cache key else None) with
+  match cached_vector t clause key with
   | Some v ->
       Obs.Counter.incr Stats.c_cache_hits;
       Planner.note_cached ();
@@ -376,44 +613,17 @@ let vector ?assume ?within t clause =
       let positions =
         Array.of_list (List.filter undecided (List.init n Fun.id))
       in
+      let bits = compute_positions t clause positions in
       let v =
-        match
-          (plan t ~n_undecided:(Array.length positions) clause).Planner.strategy
-        with
-        | Planner.Semijoin patterns ->
-            (* acyclic-join clause: one semi-join program per backend
-               partition answers the whole batch *)
-            let res = run_semijoin t patterns positions in
-            let v =
-              Array.init n (fun i ->
-                  match within with
-                  | Some m when not m.(i) -> false
-                  | _ -> (
-                      match assume with
-                      | Some k when k.(i) -> true
-                      | _ -> false))
-            in
-            Array.iteri (fun j pos -> v.(pos) <- res.(j)) positions;
-            v
-        | Planner.Subsumption ->
-            (* cyclic, kernel-less, or simply cheaper per-example; the
-               test closure runs on worker domains, so it captures a
-               snapshot of the mutable state it needs instead of
-               reading fields of [t] concurrently *)
-            let bottoms = t.bottoms and max_steps = t.max_steps in
-            let test i =
-              match within with
-              | Some mask when not mask.(i) -> false
-              | _ -> (
-                  match assume with
-                  | Some known when known.(i) -> true
-                  | _ -> subsumes_noted ~max_steps bottoms clause i)
-            in
-            let force = t.force_parallel and domains = t.domains in
-            if domains <= 1 then Array.init n test
-            else Parallel.init ~force ~domains n test
+        Array.init n (fun i ->
+            match within with
+            | Some m when not m.(i) -> false
+            | _ -> (
+                match assume with Some k when k.(i) -> true | _ -> false))
       in
-      if cacheable then Hashtbl.replace t.cache key (Array.copy v);
+      Array.iteri (fun j pos -> v.(pos) <- bits.(j)) positions;
+      if cacheable then
+        Hashtbl.replace t.cache key { egen = t.src_gen; ev = Array.copy v };
       v
 
 let count v = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v

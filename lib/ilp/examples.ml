@@ -107,5 +107,53 @@ let closed_world_negatives ~seed ?(ratio = 2) inst
     Array.of_list (List.rev !out)
   end
 
+(** Relation name the examples are drawn from, when it is uniform
+    across positives and negatives; [None] on empty or mixed sets. *)
+let target_relation t =
+  let names =
+    Array.to_list (Array.append t.pos t.neg)
+    |> List.map (fun (a : Atom.t) -> a.Atom.rel)
+    |> List.sort_uniq String.compare
+  in
+  match names with [ r ] -> Some r | _ -> None
+
+(** [mutation_stream ~seed ?length inst t] draws a deterministic
+    interleaved add/remove delta stream over the {e non-target}
+    relations of [inst] — the tuple-stream shape the online coverage
+    path absorbs without a full refresh. Removals pick stored tuples;
+    additions recombine stored column values into (usually fresh)
+    tuples, so both directions stay inside the attribute domains.
+    Ineffective deltas (re-removing, re-adding) may occur and are
+    dropped by the substrate on application. Used by the incremental
+    bench replay and the mutation-stream differential battery. *)
+let mutation_stream ~seed ?(length = 16) inst t =
+  let open Castor_relational in
+  let rng = Random.State.make [| seed |] in
+  let target = Option.value ~default:"" (target_relation t) in
+  let rels =
+    List.filter
+      (fun (r : Schema.relation) ->
+        (not (String.equal r.Schema.rname target))
+        && Instance.cardinality inst r.Schema.rname > 0)
+      (Instance.schema inst).Schema.relations
+    |> Array.of_list
+  in
+  if Array.length rels = 0 then []
+  else
+    List.init length (fun _ ->
+        let r = rels.(Random.State.int rng (Array.length rels)) in
+        let rel = r.Schema.rname in
+        let stored = Array.of_list (Instance.tuples inst rel) in
+        if Random.State.bool rng then
+          Delta.Remove (rel, stored.(Random.State.int rng (Array.length stored)))
+        else
+          let arity = List.length r.Schema.attrs in
+          let tu =
+            Array.init arity (fun j ->
+                let row = stored.(Random.State.int rng (Array.length stored)) in
+                row.(j))
+          in
+          Delta.Add (rel, tu))
+
 let pp ppf t =
   Fmt.pf ppf "%d positive / %d negative examples" (n_pos t) (n_neg t)

@@ -12,9 +12,21 @@
 
     Derived relations live in a separate fact store keyed by relation
     name, so the input {!Castor_relational.Instance} is never
-    mutated. *)
+    mutated.
+
+    {!materialize} keeps a fixpoint alive across mutations of the
+    instance: insertions arriving as {!Castor_relational.Delta} values
+    extend the materialization with one adds-only semi-naive pass
+    (each round joins against the newly inserted base facts and the
+    facts they derived); a deletion retracts support a derived fact
+    may depend on, so it falls back to a full recomputation. *)
 
 open Castor_relational
+module Obs = Castor_obs.Obs
+
+let c_view_rounds = Obs.Counter.create "logic.datalog.delta_rounds"
+
+let c_view_recomputes = Obs.Counter.create "logic.datalog.view_recomputes"
 
 type fact_store = (string, Atom.Set.t ref) Hashtbl.t
 
@@ -71,7 +83,15 @@ let rec solve (backend : Backend.t) (fs : fact_store) ?delta body subst emit =
             if in_delta then solve backend fs rest subst' emit
             else solve backend fs ?delta rest subst' emit
       in
-      List.iter (try_cand ~in_delta:false) base_candidates;
+      (match delta with
+      | None -> List.iter (try_cand ~in_delta:false) base_candidates
+      | Some (d : fact_store) ->
+          (* a base fact can be the required delta occurrence too: the
+             incremental view pass seeds its first round with newly
+             inserted base tuples under their base relation names *)
+          List.iter
+            (fun cand -> try_cand ~in_delta:(store_mem d cand) cand)
+            base_candidates);
       (match delta with
       | None -> List.iter (try_cand ~in_delta:false) derived_candidates
       | Some (d : fact_store) ->
@@ -125,6 +145,72 @@ let run ?(max_rounds = 10_000) inst (clauses : Clause.t list) : fact_store =
     delta := next_delta
   done;
   fs
+
+(* ------------------------------------------------------------------ *)
+(* Incrementally maintained materializations                           *)
+(* ------------------------------------------------------------------ *)
+
+(** A live fixpoint: the derived facts of [program] over [inst],
+    maintained under the instance's delta stream. *)
+type view = {
+  program : Clause.t list;
+  inst : Instance.t;
+  vmax_rounds : int;
+  mutable facts : fact_store;
+}
+
+(** [materialize ?max_rounds inst program] computes the fixpoint once
+    and wraps it as a maintainable view. *)
+let materialize ?(max_rounds = 10_000) inst (program : Clause.t list) =
+  { program; inst; vmax_rounds = max_rounds; facts = run ~max_rounds inst program }
+
+let view_facts v rel = store_facts v.facts rel
+
+(* Adds-only maintenance: the inserted base tuples seed the semi-naive
+   delta store, so round 1 finds exactly the derivations using at
+   least one new base fact, and later rounds chase what those derived.
+   Sound because the program is monotone: no old fact loses support
+   under an insertion. *)
+let extend_with_adds v adds =
+  let backend = Backend.of_instance v.inst in
+  let delta : fact_store ref = ref (Hashtbl.create 8) in
+  List.iter
+    (fun (rel, tu) -> ignore (store_add !delta (Atom.of_tuple rel tu)))
+    adds;
+  let rounds = ref 0 in
+  while Hashtbl.length !delta > 0 && !rounds < v.vmax_rounds do
+    incr rounds;
+    Obs.Counter.incr c_view_rounds;
+    let next : fact_store = Hashtbl.create 8 in
+    List.iter
+      (fun (cl : Clause.t) ->
+        solve backend v.facts ~delta:!delta cl.Clause.body Subst.empty
+          (fun subst ->
+            let h = head_instance cl subst in
+            if not (store_mem v.facts h) then begin
+              ignore (store_add v.facts h);
+              ignore (store_add next h)
+            end))
+      v.program;
+    delta := next
+  done
+
+(** [update v ds] maintains the view under a delta batch that has
+    already been applied to the view's instance. Pure insertions run
+    the adds-only semi-naive extension ([logic.datalog.delta_rounds]);
+    any removal may retract support for a derived fact, so the view
+    falls back to a full recomputation
+    ([logic.datalog.view_recomputes]). *)
+let update v (ds : Delta.t list) =
+  if List.exists (fun d -> not (Delta.is_add d)) ds then begin
+    Obs.Counter.incr c_view_recomputes;
+    v.facts <- run ~max_rounds:v.vmax_rounds v.inst v.program
+  end
+  else extend_with_adds v (List.map (fun d -> (Delta.rel d, Delta.tuple d)) ds)
+
+(** [watch v b] subscribes the view to backend [b]'s delta stream
+    ([b] must serve the view's instance). *)
+let watch v (b : Backend.t) = Backend.subscribe b (update v)
 
 (** [query ?max_rounds inst program target] — the derived tuples of
     relation [target]. *)

@@ -156,13 +156,13 @@ type sj_table = { svars : string list; mutable srows : Tuple.t list }
 (* Scan one pattern against one backend partition. The pattern scan is
    one select-project query: σ on the constants and repeated
    variables, π to (eid, distinct variables), deduplicated. A backend
-   with a native engine for that shape (the columnar substrate) takes
-   the whole query via [select_project] — posting-list intersections
-   instead of scan-and-filter, memoized across repeated scans — and
-   reports how many stored rows it actually visited, which is what
-   [rows_scanned] counts on the generic path below. Otherwise: pick an
-   indexed access path when the pattern carries a constant, filter,
-   project, dedup. *)
+   advertising the [pushdown] capability (the columnar substrate)
+   takes the whole query via [select_project] — posting-list
+   intersections instead of scan-and-filter, memoized across repeated
+   scans — and reports how many stored rows it actually visited,
+   which is what [rows_scanned] counts on the generic path below.
+   Otherwise: pick an indexed access path when the pattern carries a
+   constant, filter, project, dedup. *)
 let scan_pattern (backend : Backend.t) s (p : pattern) =
   let module B = (val backend) in
   let vars = pattern_vars p in
@@ -180,7 +180,11 @@ let scan_pattern (backend : Backend.t) s (p : pattern) =
       vars
   in
   let pushdown =
-    if B.has_relation p.prel && B.arity p.prel = Array.length p.pargs + 1 then begin
+    if
+      B.capabilities.Backend.pushdown
+      && B.has_relation p.prel
+      && B.arity p.prel = Array.length p.pargs + 1
+    then begin
       let consts = ref [] and eqs = ref [] in
       let first_pos = Hashtbl.create 8 in
       Array.iteri

@@ -14,12 +14,19 @@
       kernel need;
     - {e statistics} (cardinalities, per-position distinct counts) —
       what the cost-based coverage planner feeds on;
-    - a {e generation counter} — bumped by every mutation of the
-      underlying data, so derived structures (coverage memos, example
-      stores) can key their caches on it and detect staleness;
+    - an explicit {e delta API} — mutations are {!Delta.t} values,
+      applied singly ([add]/[remove]) or in batches ([apply]) and
+      observable through [subscribe]; the generation counter is the
+      length of the delta log, so derived structures (coverage memos,
+      example stores, materialized views) either key caches on it or
+      subscribe and patch themselves in place;
     - {e partitioned access} — the sharded store exposes its shards,
       the flat instance presents itself as one partition, and the
-      batched semi-join kernel fans out over whatever it gets.
+      batched semi-join kernel fans out over whatever it gets;
+    - a {!capabilities} record naming what the implementation can do
+      natively (pushdown, partitioning, subscription), so consumers
+      branch on capabilities instead of sniffing [option]-returning
+      methods.
 
     A future backend (on-disk, remote) is one more implementation of
     {!S}; nothing outside [lib/relational] needs to change. *)
@@ -30,11 +37,31 @@ let c_wraps = Obs.Counter.create "backend.wraps"
 
 let c_creates = Obs.Counter.create "backend.creates"
 
+(** What an implementation serves natively. One explicit record
+    instead of scattered optional methods:
+    - [pushdown] — {!S.select_project} evaluates whole pattern scans
+      inside the engine (and its statistics are exact, not sampled);
+      when [false] the method always returns [None] and callers take
+      the generic scan-and-filter path without probing;
+    - [partitioned] — [n_partitions] may exceed 1 and the partition
+      access paths are genuinely shard-local;
+    - [subscription] — [apply]/[subscribe] deliver effective deltas to
+      subscribers (all in-memory substrates; a future remote backend
+      may only poll generations). *)
+type capabilities = {
+  pushdown : bool;
+  partitioned : bool;
+  subscription : bool;
+}
+
 (** The backend signature. Implementations are stateful first-class
     modules: each value of {!t} owns (or wraps) one database. *)
 module type S = sig
-  (** Implementation id: ["instance"] or ["store"]. *)
+  (** Implementation id: ["instance"], ["store"] or ["columnar"]. *)
   val name : string
+
+  (** What this implementation serves natively. *)
+  val capabilities : capabilities
 
   (* -------- schema surface -------- *)
 
@@ -44,13 +71,25 @@ module type S = sig
 
   val arity : string -> int
 
-  (* -------- mutation (generation-bumping deltas) -------- *)
+  (* -------- mutation (the delta API) -------- *)
 
-  (** [add rel tu] inserts (set semantics); [true] when new. *)
+  (** [add rel tu] inserts (set semantics); [true] when new. The
+      singleton form of [apply [Delta.Add (rel, tu)]]. *)
   val add : string -> Tuple.t -> bool
 
-  (** [remove rel tu]; [true] when the tuple was present. *)
+  (** [remove rel tu]; [true] when the tuple was present. The
+      singleton form of [apply [Delta.Remove (rel, tu)]]. *)
   val remove : string -> Tuple.t -> bool
+
+  (** [apply ds] applies a batch of deltas in order. Ineffective
+      deltas (duplicate adds, absent removes) are dropped; the
+      generation advances by the number of effective ones and
+      subscribers are notified once with exactly that sub-batch. *)
+  val apply : Delta.t list -> unit
+
+  (** [subscribe f] registers [f] to observe every effective delta
+      batch, in application order, after it hits the store. *)
+  val subscribe : (Delta.t list -> unit) -> unit
 
   (* -------- reads -------- *)
 
@@ -104,8 +143,10 @@ module type S = sig
     project:int list ->
     (Tuple.t list * int) option
 
-  (** Mutation counter of the underlying data. Equal generations imply
-      the data has not changed; cache keys should include it. *)
+  (** Mutation counter of the underlying data — the length of its
+      delta log (number of effective deltas ever applied). Equal
+      generations imply the data has not changed; structures that do
+      not subscribe should key their caches on it. *)
   val generation : unit -> int
 
   (* -------- partitioned access (the semi-join kernel's view) ------ *)
@@ -162,6 +203,9 @@ module Instance_backend = struct
     (module struct
       let name = "instance"
 
+      let capabilities =
+        { pushdown = false; partitioned = false; subscription = true }
+
       let relation_names () = Instance.relation_names inst
 
       let has_relation rel =
@@ -177,6 +221,10 @@ module Instance_backend = struct
         end
 
       let remove rel tu = Instance.remove inst rel tu
+
+      let apply ds = Instance.apply inst ds
+
+      let subscribe f = Instance.subscribe inst f
 
       let mem rel tu = Instance.mem inst rel tu
 
@@ -221,6 +269,9 @@ module Store_backend = struct
     (module struct
       let name = "store"
 
+      let capabilities =
+        { pushdown = false; partitioned = true; subscription = true }
+
       let relation_names () = Store.relation_names store
 
       let has_relation rel = Store.has_relation store rel
@@ -230,6 +281,10 @@ module Store_backend = struct
       let add rel tu = Store.add store rel tu
 
       let remove rel tu = Store.remove store rel tu
+
+      let apply ds = Store.apply store ds
+
+      let subscribe f = Store.subscribe store f
 
       let mem rel tu = Store.mem store rel tu
 
@@ -280,6 +335,9 @@ module Columnar_backend = struct
     (module struct
       let name = "columnar"
 
+      let capabilities =
+        { pushdown = true; partitioned = false; subscription = true }
+
       let relation_names () = Columnar.relation_names col
 
       let has_relation rel = Columnar.has_relation col rel
@@ -289,6 +347,10 @@ module Columnar_backend = struct
       let add rel tu = Columnar.add col rel tu
 
       let remove rel tu = Columnar.remove col rel tu
+
+      let apply ds = Columnar.apply col ds
+
+      let subscribe f = Columnar.subscribe col f
 
       let mem rel tu = Columnar.mem col rel tu
 
@@ -405,3 +467,18 @@ let name (b : t) =
 let generation (b : t) =
   let module B = (val b) in
   B.generation ()
+
+let capabilities (b : t) =
+  let module B = (val b) in
+  B.capabilities
+
+(** [apply b ds] — batch mutation through the delta API; subscribers
+    of [b] see the effective sub-batch once. *)
+let apply (b : t) ds =
+  let module B = (val b) in
+  B.apply ds
+
+(** [subscribe b f] — observe every effective delta batch of [b]. *)
+let subscribe (b : t) f =
+  let module B = (val b) in
+  B.subscribe f

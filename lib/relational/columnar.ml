@@ -28,8 +28,10 @@
 
     Slots are append-only: [remove] tombstones a row (its postings are
     spliced, its [live] bit cleared) and never reuses the slot, so
-    posting lists stay sorted by construction. Mutations bump a
-    generation counter like the other substrates.
+    posting lists stay sorted by construction. Like the other
+    substrates, every effective mutation is appended to a {!Delta.Log}
+    — the generation is the log length and subscribers see each
+    effective delta batch.
 
     Everything is instrumented under [columnar.*]. *)
 
@@ -76,7 +78,7 @@ type memo_entry = { mgen : int; mrows : Tuple.t list }
 
 type t = {
   rels : (string, crel) Hashtbl.t;
-  mutable generation : int;
+  log : Delta.Log.t;  (** effective mutations; generation = log length *)
   memo :
     (string * (int * Value.t) list * (int * int) list * int list, memo_entry)
     Hashtbl.t;
@@ -107,9 +109,13 @@ let create rels =
           distinct = Array.make arity 0;
         })
     rels;
-  { rels = tbl; generation = 0; memo = Hashtbl.create 64 }
+  { rels = tbl; log = Delta.Log.create (); memo = Hashtbl.create 64 }
 
-let generation t = t.generation
+let generation t = Delta.Log.length t.log
+
+(** [subscribe t f] registers [f] to receive every batch of effective
+    deltas, in application order, after they hit the columns. *)
+let subscribe t f = Delta.Log.subscribe t.log f
 
 let has_relation t rel = Hashtbl.mem t.rels rel
 
@@ -279,11 +285,11 @@ let mem t rel (tu : Tuple.t) =
   if Tuple.arity tu <> cr.arity then raise (Arity_mismatch rel);
   slot_of cr tu <> None
 
-(** [add t rel tu] inserts a tuple: interns every value, appends one
-    slot to each column and each posting list. [false] on duplicates
-    (set semantics).
-    @raise Arity_mismatch if the tuple does not fit the sort. *)
-let add t rel (tu : Tuple.t) =
+(* [insert]/[delete] mutate the columns and report effectiveness
+   without logging, so a batch [apply] can notify subscribers once;
+   [add]/[remove] are the public singleton forms. *)
+
+let insert t rel (tu : Tuple.t) =
   if mem t rel tu then false
   else begin
     let cr = crel t rel in
@@ -311,15 +317,11 @@ let add t rel (tu : Tuple.t) =
       tu;
     Bytes.set cr.live slot '\001';
     cr.count <- cr.count + 1;
-    t.generation <- t.generation + 1;
     Obs.Counter.incr c_adds;
     true
   end
 
-(** [remove t rel tu] tombstones a tuple's slot and splices it out of
-    every posting list it occupied; dictionary entries are never
-    reclaimed (ids stay dense and stable). [true] when present. *)
-let remove t rel (tu : Tuple.t) =
+let delete t rel (tu : Tuple.t) =
   let cr = crel t rel in
   if Tuple.arity tu <> cr.arity then raise (Arity_mismatch rel);
   match slot_of cr tu with
@@ -328,9 +330,43 @@ let remove t rel (tu : Tuple.t) =
       Array.iteri (fun p _ -> posting_remove cr p cr.cols.(p).(slot) slot) tu;
       Bytes.set cr.live slot '\000';
       cr.count <- cr.count - 1;
-      t.generation <- t.generation + 1;
       Obs.Counter.incr c_removes;
       true
+
+(** [add t rel tu] inserts a tuple: interns every value, appends one
+    slot to each column and each posting list. [false] on duplicates
+    (set semantics); an effective insert is logged as an [Add] delta.
+    @raise Arity_mismatch if the tuple does not fit the sort. *)
+let add t rel (tu : Tuple.t) =
+  insert t rel tu
+  && begin
+       Delta.Log.extend t.log [ Delta.Add (rel, tu) ];
+       true
+     end
+
+(** [remove t rel tu] tombstones a tuple's slot and splices it out of
+    every posting list it occupied; dictionary entries are never
+    reclaimed (ids stay dense and stable). [true] when present, in
+    which case a [Remove] delta is logged. *)
+let remove t rel (tu : Tuple.t) =
+  delete t rel tu
+  && begin
+       Delta.Log.extend t.log [ Delta.Remove (rel, tu) ];
+       true
+     end
+
+(** [apply t ds] applies a batch of deltas in order; ineffective ones
+    are dropped and subscribers see exactly the effective sub-batch,
+    once. *)
+let apply t ds =
+  let effective =
+    List.filter
+      (function
+        | Delta.Add (rel, tu) -> insert t rel tu
+        | Delta.Remove (rel, tu) -> delete t rel tu)
+      ds
+  in
+  Delta.Log.extend t.log effective
 
 (* Aliases matching the delta-maintenance vocabulary of {!Store}. *)
 let add_tuple = add
@@ -463,7 +499,7 @@ let select_project t rel ~consts ~eqs ~project =
         Obs.Counter.incr c_pushdowns;
         let key = (rel, consts, eqs, project) in
         match Hashtbl.find_opt t.memo key with
-        | Some e when e.mgen = t.generation ->
+        | Some e when e.mgen = generation t ->
             Obs.Counter.incr c_pushdown_hits;
             Some (e.mrows, 0)
         | _ ->
@@ -523,7 +559,7 @@ let select_project t rel ~consts ~eqs ~project =
             done;
             let rows = List.rev !rows in
             if Hashtbl.length t.memo >= memo_cap then Hashtbl.reset t.memo;
-            Hashtbl.replace t.memo key { mgen = t.generation; mrows = rows };
+            Hashtbl.replace t.memo key { mgen = generation t; mrows = rows };
             Some (rows, n)
       end
 

@@ -10,23 +10,29 @@ type t = {
   schema : Schema.t;
   store : (string, Tuple.t list ref) Hashtbl.t;  (** tuples in insertion order, newest first *)
   index : (string * int * Value.t, Tuple.t list ref) Hashtbl.t;
-  mutable generation : int;
-      (** bumped on every effective [add]/[remove]; {!Backend} exposes
-          it so derived structures (coverage memos, example stores) can
-          detect that their source data moved underneath them *)
+  log : Delta.Log.t;
+      (** every effective [add]/[remove] is appended here as a delta;
+          the generation counter {!Backend} exposes is the log length,
+          and derived structures (coverage memos, example stores,
+          materialized views) subscribe to it instead of diffing *)
 }
 
 let create schema =
   let store = Hashtbl.create 64 in
   List.iter (fun (r : Schema.relation) -> Hashtbl.replace store r.rname (ref []))
     schema.Schema.relations;
-  { schema; store; index = Hashtbl.create 4096; generation = 0 }
+  { schema; store; index = Hashtbl.create 4096; log = Delta.Log.create () }
 
 let schema t = t.schema
 
-(** Mutation counter: increases exactly when an [add] inserts or a
-    [remove] deletes a tuple. Equal generations imply unchanged data. *)
-let generation t = t.generation
+(** Mutation counter, derived from the delta log: increases exactly
+    when an [add] inserts or a [remove] deletes a tuple. Equal
+    generations imply unchanged data. *)
+let generation t = Delta.Log.length t.log
+
+(** [subscribe t f] registers [f] to be called with every batch of
+    effective deltas, in application order, after they hit the store. *)
+let subscribe t f = Delta.Log.subscribe t.log f
 
 let relation_names t =
   List.map (fun (r : Schema.relation) -> r.Schema.rname) t.schema.Schema.relations
@@ -42,13 +48,16 @@ let bucket t rel =
 let mem t rel (tuple : Tuple.t) =
   List.exists (Tuple.equal tuple) !(bucket t rel)
 
-(** [add t rel tuple] inserts a tuple; duplicates are ignored so
-    relations behave as sets.
-    @raise Arity_mismatch if the tuple does not fit the sort. *)
-let add t rel (tuple : Tuple.t) =
+(* Mutators come in two layers: [insert]/[delete] touch the store and
+   indexes and report effectiveness without logging, so a batch
+   [apply] can collect its effective deltas and notify subscribers
+   once; [add]/[remove] are the public singleton forms. *)
+
+let insert t rel (tuple : Tuple.t) =
   if Tuple.arity tuple <> Schema.arity t.schema rel then
     raise (Arity_mismatch rel);
-  if not (mem t rel tuple) then begin
+  if mem t rel tuple then false
+  else begin
     let b = bucket t rel in
     b := tuple :: !b;
     Array.iteri
@@ -58,19 +67,10 @@ let add t rel (tuple : Tuple.t) =
         | Some l -> l := tuple :: !l
         | None -> Hashtbl.add t.index key (ref [ tuple ]))
       tuple;
-    t.generation <- t.generation + 1
+    true
   end
 
-let add_list t rel vs = add t rel (Tuple.of_list vs)
-
-(** [remove t rel tuple] deletes a tuple, delta-maintaining {e every}
-    secondary index bucket: the [(rel, column, value)] entry of each
-    column is pruned (and dropped when it empties), never rebuilt.
-    Returns [true] when the tuple was present. The add/remove
-    interleaving invariant — indexes equal to a from-scratch rebuild —
-    is checked by {!index_consistent} and a QCheck property.
-    @raise Arity_mismatch if the tuple does not fit the sort. *)
-let remove t rel (tuple : Tuple.t) =
+let delete t rel (tuple : Tuple.t) =
   if Tuple.arity tuple <> Schema.arity t.schema rel then
     raise (Arity_mismatch rel);
   let b = bucket t rel in
@@ -86,9 +86,45 @@ let remove t rel (tuple : Tuple.t) =
             match !l with [] -> Hashtbl.remove t.index key | _ -> ())
         | None -> ())
       tuple;
-    t.generation <- t.generation + 1;
     true
   end
+
+(** [add t rel tuple] inserts a tuple; duplicates are ignored so
+    relations behave as sets. An effective insert is logged as an
+    [Add] delta (advancing the generation and notifying subscribers).
+    @raise Arity_mismatch if the tuple does not fit the sort. *)
+let add t rel (tuple : Tuple.t) =
+  if insert t rel tuple then Delta.Log.extend t.log [ Delta.Add (rel, tuple) ]
+
+let add_list t rel vs = add t rel (Tuple.of_list vs)
+
+(** [remove t rel tuple] deletes a tuple, delta-maintaining {e every}
+    secondary index bucket: the [(rel, column, value)] entry of each
+    column is pruned (and dropped when it empties), never rebuilt.
+    Returns [true] when the tuple was present, in which case a
+    [Remove] delta is logged. The add/remove interleaving invariant —
+    indexes equal to a from-scratch rebuild — is checked by
+    {!index_consistent} and a QCheck property.
+    @raise Arity_mismatch if the tuple does not fit the sort. *)
+let remove t rel (tuple : Tuple.t) =
+  if delete t rel tuple then begin
+    Delta.Log.extend t.log [ Delta.Remove (rel, tuple) ];
+    true
+  end
+  else false
+
+(** [apply t ds] applies a batch of deltas in order; ineffective ones
+    (duplicate adds, absent removes) are dropped, and subscribers are
+    notified once with exactly the effective sub-batch. *)
+let apply t ds =
+  let effective =
+    List.filter
+      (function
+        | Delta.Add (rel, tu) -> insert t rel tu
+        | Delta.Remove (rel, tu) -> delete t rel tu)
+      ds
+  in
+  Delta.Log.extend t.log effective
 
 (* Aliases matching the delta-maintenance vocabulary of {!Store}. *)
 let add_tuple = add

@@ -46,10 +46,10 @@ type rel_store = {
 type t = {
   n_shards : int;
   rels : (string, rel_store) Hashtbl.t;
-  mutable generation : int;
-      (** bumped on every effective [add]/[remove] delta; the
-          {!Backend} seam exposes it so derived structures can detect
-          mutation without diffing shards *)
+  log : Delta.Log.t;
+      (** every effective [add]/[remove] delta is appended here; the
+          generation the {!Backend} seam exposes is the log length,
+          and derived structures subscribe instead of diffing shards *)
 }
 
 exception Arity_mismatch of string
@@ -72,13 +72,18 @@ let create ?(shards = default_shards) ?(key = fun _ -> 0) rels =
       let mk _ = { rows = []; count = 0; index = Hashtbl.create 64 } in
       Hashtbl.replace tbl name { arity; key_pos; shards = Array.init shards mk })
     rels;
-  { n_shards = shards; rels = tbl; generation = 0 }
+  { n_shards = shards; rels = tbl; log = Delta.Log.create () }
 
 let n_shards t = t.n_shards
 
-(** Mutation counter: increases exactly when an [add] inserts or a
-    [remove] deletes a tuple. Equal generations imply unchanged data. *)
-let generation t = t.generation
+(** Mutation counter, derived from the delta log: increases exactly
+    when an [add] inserts or a [remove] deletes a tuple. Equal
+    generations imply unchanged data. *)
+let generation t = Delta.Log.length t.log
+
+(** [subscribe t f] registers [f] to receive every batch of effective
+    deltas, in application order, after they hit the shards. *)
+let subscribe t f = Delta.Log.subscribe t.log f
 
 let has_relation t rel = Hashtbl.mem t.rels rel
 
@@ -131,11 +136,11 @@ let mem t rel (tuple : Tuple.t) =
   | Some l -> List.exists (Tuple.equal tuple) !l
   | None -> false
 
-(** [add t rel tuple] inserts a tuple into its shard and extends every
-    secondary-index bucket of that shard (delta maintenance). Returns
-    [false] on duplicates (set semantics).
-    @raise Arity_mismatch if the tuple does not fit the sort. *)
-let add t rel (tuple : Tuple.t) =
+(* [insert]/[delete] mutate the shards and report effectiveness
+   without logging, so a batch [apply] can notify subscribers once;
+   [add]/[remove] are the public singleton forms. *)
+
+let insert t rel (tuple : Tuple.t) =
   if mem t rel tuple then false
   else begin
     let rs = rel_store t rel in
@@ -143,14 +148,11 @@ let add t rel (tuple : Tuple.t) =
     sh.rows <- tuple :: sh.rows;
     sh.count <- sh.count + 1;
     Array.iteri (fun i v -> index_add sh i v tuple) tuple;
-    t.generation <- t.generation + 1;
     Obs.Counter.incr c_adds;
     true
   end
 
-(** [remove t rel tuple] deletes a tuple, pruning exactly the index
-    buckets it occupied. Returns [true] when the tuple was present. *)
-let remove t rel (tuple : Tuple.t) =
+let delete t rel (tuple : Tuple.t) =
   if not (mem t rel tuple) then false
   else begin
     let rs = rel_store t rel in
@@ -158,10 +160,44 @@ let remove t rel (tuple : Tuple.t) =
     sh.rows <- List.filter (fun tu -> not (Tuple.equal tu tuple)) sh.rows;
     sh.count <- sh.count - 1;
     Array.iteri (fun i v -> index_remove sh i v tuple) tuple;
-    t.generation <- t.generation + 1;
     Obs.Counter.incr c_removes;
     true
   end
+
+(** [add t rel tuple] inserts a tuple into its shard and extends every
+    secondary-index bucket of that shard (delta maintenance). Returns
+    [false] on duplicates (set semantics); an effective insert is
+    logged as an [Add] delta.
+    @raise Arity_mismatch if the tuple does not fit the sort. *)
+let add t rel (tuple : Tuple.t) =
+  insert t rel tuple
+  && begin
+       Delta.Log.extend t.log [ Delta.Add (rel, tuple) ];
+       true
+     end
+
+(** [remove t rel tuple] deletes a tuple, pruning exactly the index
+    buckets it occupied. Returns [true] when the tuple was present,
+    in which case a [Remove] delta is logged. *)
+let remove t rel (tuple : Tuple.t) =
+  delete t rel tuple
+  && begin
+       Delta.Log.extend t.log [ Delta.Remove (rel, tuple) ];
+       true
+     end
+
+(** [apply t ds] applies a batch of deltas in order; ineffective ones
+    are dropped and subscribers see exactly the effective sub-batch,
+    once. *)
+let apply t ds =
+  let effective =
+    List.filter
+      (function
+        | Delta.Add (rel, tu) -> insert t rel tu
+        | Delta.Remove (rel, tu) -> delete t rel tu)
+      ds
+  in
+  Delta.Log.extend t.log effective
 
 (* Aliases matching the ILP-facing vocabulary. *)
 let add_tuple = add

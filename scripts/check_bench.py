@@ -22,7 +22,9 @@ Counters the experiment is expected to keep nonzero (e.g. the
 analysis pruner's analysis.pruned_literals) can be asserted with
 --require-nonzero; counters that must merely be recorded — e.g. the
 subsumption engine's logic.subsume.restarts, legitimately zero when no
-test exhausts its budget — with --require-present.
+test exhausts its budget — with --require-present; counters that must
+stay at exactly zero — e.g. ilp.coverage.full_refreshes on the
+incremental experiment's non-target tuple stream — with --require-zero.
 
 When both dumps carry the coverage-cache counters (ilp.cache_hits and
 ilp.coverage.cache_misses), the cache hit rate is also compared: a
@@ -158,6 +160,15 @@ def main():
         help="fail unless COUNTER is recorded in the current run (zero is fine)",
     )
     ap.add_argument(
+        "--require-zero",
+        action="append",
+        default=[],
+        metavar="COUNTER",
+        help="fail unless COUNTER is recorded in the current run with value "
+        "exactly zero — e.g. the incremental workload's promise that "
+        "ilp.coverage.full_refreshes never fires",
+    )
+    ap.add_argument(
         "--require-less",
         action="append",
         default=[],
@@ -190,6 +201,14 @@ def check_one(path, args):
     for name in args.require_present:
         if name not in cur_counters:
             problems.append(f"required counter {name} is not recorded")
+
+    for name in args.require_zero:
+        if name not in cur_counters:
+            problems.append(f"required counter {name} is not recorded")
+        elif cur_counters[name] != 0:
+            problems.append(
+                f"counter {name} must be zero but is {cur_counters[name]}"
+            )
 
     for pair in args.require_less:
         a, sep, b = pair.rpartition(":")

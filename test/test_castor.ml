@@ -12,6 +12,7 @@ let () =
       ("text", Test_text.suite);
       ("discovery", Test_discovery.suite);
       ("datalog", Test_datalog.suite);
+      ("delta", Test_delta.suite);
       ("ilp", Test_ilp.suite);
       ("batch", Test_batch.suite);
       ("learners", Test_learners.suite);
