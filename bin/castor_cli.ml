@@ -595,6 +595,14 @@ let fuzz dataset seed budget max_depth learners backends no_induce no_shrink
             report.Fuzz.rp_backend_mismatches));
     exit 1
   end;
+  if report.Fuzz.rp_planner_divergences <> [] then begin
+    Fmt.epr "planner strategies disagree in result (kernel vs subsumption): %s@."
+      (String.concat ", "
+         (List.map
+            (fun (v, c) -> v ^ ": " ^ c)
+            report.Fuzz.rp_planner_divergences));
+    exit 1
+  end;
   if broken <> [] then begin
     Fmt.epr "schema independence violated for: %s@." (String.concat ", " broken);
     exit 1

@@ -45,6 +45,10 @@ type report = {
   rp_runs : Sweep.run list;
   rp_verdicts : Sweep.verdict list;
   rp_backend_mismatches : (string * string) list;
+  rp_planner_divergences : (string * string) list;
+      (** (variant, clause) pairs where the batch kernel and
+          θ-subsumption disagreed — planner strategies may diverge in
+          cost only, never in result, so this must be empty *)
   rp_counterexamples : Shrink.counterexample list;
 }
 
@@ -70,6 +74,11 @@ let run ?(config = default_config) (ds : Dataset.t) =
   in
   let verdicts = Sweep.verdicts ~base:(fst base) runs in
   let mismatches = Sweep.backend_mismatches runs in
+  let planner_divergences =
+    match config.backends with
+    | backend :: _ -> Sweep.planner_agreement ?backend ds
+    | [] -> Sweep.planner_agreement ds
+  in
   let counterexamples =
     if not config.shrink then []
     else
@@ -89,6 +98,7 @@ let run ?(config = default_config) (ds : Dataset.t) =
     rp_runs = runs;
     rp_verdicts = verdicts;
     rp_backend_mismatches = mismatches;
+    rp_planner_divergences = planner_divergences;
     rp_counterexamples = counterexamples;
   }
 
@@ -208,5 +218,9 @@ let report_to_json (r : report) =
       ( "backend_mismatches",
         jlist (fun (l, v) -> jobj [ ("learner", jstr l); ("variant", jstr v) ])
           r.rp_backend_mismatches );
+      ( "planner_divergences",
+        jlist
+          (fun (v, c) -> jobj [ ("variant", jstr v); ("clause", jstr c) ])
+          r.rp_planner_divergences );
       ("counterexamples", jlist cx r.rp_counterexamples);
     ]

@@ -20,6 +20,14 @@ let c_runs = Obs.Counter.create "fuzz.sweep.runs"
 let c_checks = Obs.Counter.create "fuzz.equivalence.checks"
 let c_divergences = Obs.Counter.create "fuzz.equivalence.divergences"
 let c_backend_mismatches = Obs.Counter.create "fuzz.backend.mismatches"
+let c_planner_checks = Obs.Counter.create "fuzz.planner.checks"
+let c_planner_divergences = Obs.Counter.create "fuzz.planner.divergences"
+
+(** Forced planner fallbacks observed across {!planner_agreement} —
+    decisions where the kernel was structurally refused rather than
+    priced. The hypertree-decomposed kernel retired the cyclic forced
+    reason, so this is expected to stay at zero (CI pins it). *)
+let c_planner_forced = Obs.Counter.create "fuzz.planner.forced"
 
 type run = {
   run_learner : string;
@@ -104,6 +112,62 @@ let verdicts ~base (runs : run list) =
         v_diverging = diverging;
       })
     keys
+
+(** [planner_agreement ?backend ds] — on every variant of [ds], the
+    planner's two executable strategies must diverge only in cost,
+    never in result: candidate body prefixes of each variant's bottom
+    clauses — their cyclic closures included, since decomposed
+    variants are exactly where cyclic cores appear — are evaluated
+    with the batch kernel enabled and again through pure per-example
+    θ-subsumption, and the vectors compared bit-for-bit
+    ([fuzz.planner.checks] / [fuzz.planner.divergences]). Forced
+    fallbacks observed along the way land in [fuzz.planner.forced]
+    (expected 0: every decision is cost-based now). Returns the
+    diverging (variant, clause) pairs, which must be empty. *)
+let planner_agreement ?backend (ds : Dataset.t) =
+  let module Coverage = Castor_ilp.Coverage in
+  let module Clause = Castor_logic.Clause in
+  let take k l =
+    let rec go k = function
+      | x :: tl when k > 0 -> x :: go (k - 1) tl
+      | _ -> []
+    in
+    go k l
+  in
+  let forced0 = Obs.Counter.value Coverage.c_batch_fallbacks in
+  let diverging = ref [] in
+  List.iter
+    (fun (vname, _) ->
+      let prep = Experiment.prepare ?backend ds vname in
+      let cov = prep.Experiment.all_pos in
+      Coverage.set_cache cov false;
+      let prefixes =
+        List.concat_map
+          (fun i ->
+            let bc, _ = Clause.variabilize cov.Coverage.bottoms.(i) in
+            List.map
+              (fun k -> Clause.make bc.Clause.head (take k bc.Clause.body))
+              [ 1; 2; 3 ])
+          (List.init (min 2 (Coverage.length cov)) Fun.id)
+      in
+      let closed = List.filter_map Castor_ilp.Planner.close_cycle prefixes in
+      List.iter
+        (fun clause ->
+          Obs.Counter.incr c_planner_checks;
+          Coverage.set_batch cov true;
+          let vb = Coverage.vector cov clause in
+          Coverage.set_batch cov false;
+          let vs = Coverage.vector cov clause in
+          Coverage.set_batch cov true;
+          if vb <> vs then begin
+            Obs.Counter.incr c_planner_divergences;
+            diverging := (vname, Clause.to_string clause) :: !diverging
+          end)
+        (prefixes @ closed))
+    ds.Dataset.variants;
+  Obs.Counter.add c_planner_forced
+    (Obs.Counter.value Coverage.c_batch_fallbacks - forced0);
+  List.rev !diverging
 
 (** [backend_mismatches runs] — (learner, variant) pairs whose
     signature depends on the storage backend. Must be empty: the

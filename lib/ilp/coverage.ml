@@ -98,6 +98,16 @@ type t = {
       (** generation below which the retained [dirty_log] no longer
           covers history; entries with [egen < log_floor] cannot be
           patched and are recomputed in full *)
+  decomps : (string, string * Hypergraph.decomposition) Hashtbl.t;
+      (** hypertree decompositions memoized per clause canonical key,
+          next to the coverage memo; the value carries the
+          order-sensitive variable signature the entry was built from
+          (see {!Hypergraph.signature}) because the canonical key
+          sorts body literals — an α-equivalent clause presenting its
+          literals in a different order must not reuse positional bag
+          indexes. Decompositions depend only on clause structure,
+          never on data, so entries are never invalidated; [sub]
+          shares the table. Main-thread only, like [cache]. *)
 }
 
 (* Load every ground saturation into an example-keyed backend:
@@ -183,6 +193,7 @@ let build ?expand ~params ?(max_steps = 250_000)
     pending;
     dirty_log = [];
     log_floor = src_gen;
+    decomps = Hashtbl.create 64;
   }
 
 let length t = Array.length t.examples
@@ -398,6 +409,7 @@ let sub t idxs =
     pending;
     dirty_log = [];
     log_floor = t.src_gen;
+    decomps = t.decomps;
   }
 
 let set_domains t n = t.domains <- max 1 n
@@ -440,9 +452,11 @@ let clear_cache t = Hashtbl.reset t.cache
 (* ---------------- planner-dispatched evaluation -------------------- *)
 
 (* Kept beside the planner's own counters: how often a test was
-   kernel-eligible (acyclic clause, store available, batching on —
-   whatever strategy the cost model then picked) vs. fell back because
-   the clause is not acyclic-join shaped. *)
+   kernel-eligible (store available, batching on — whatever strategy
+   the cost model then picked). Since the kernel runs over a
+   generalized hypertree decomposition, cyclic clauses are eligible
+   too and the forced-fallback counter is retired: it stays recorded
+   (CI pins it) but nothing increments it anymore. *)
 let c_batch_eligible = Obs.Counter.create "ilp.coverage.batch_eligible"
 
 let c_batch_fallbacks = Obs.Counter.create "ilp.coverage.batch_fallbacks"
@@ -450,8 +464,29 @@ let c_batch_fallbacks = Obs.Counter.create "ilp.coverage.batch_fallbacks"
 let note_plan_reason (d : Planner.decision) =
   match d.Planner.reason with
   | Planner.Cost -> Obs.Counter.incr c_batch_eligible
-  | Planner.Cyclic -> Obs.Counter.incr c_batch_fallbacks
   | Planner.No_store | Planner.Disabled -> ()
+
+(** Decomposition-memo hits: a planner probe of an α-equivalent
+    candidate served without rebuilding the hypertree decomposition. *)
+let c_decomp_hits = Obs.Counter.create "ilp.coverage.decomp_memo_hits"
+
+(* Decomposition through the per-canonical-key memo. The entry stores
+   the order-sensitive variable signature it was computed from: the
+   canonical key sorts body literals, so an α-equivalent clause whose
+   literals arrive in a different order would make the memoized
+   positional bag indexes meaningless — such an entry is transparently
+   recomputed and replaced. Entries depend only on clause structure
+   (never on data), so no invalidation on refresh or re-base. *)
+let memo_decompose t key sorts =
+  let vsig = Hypergraph.signature sorts in
+  match Hashtbl.find_opt t.decomps key with
+  | Some (s, d) when String.equal s vsig ->
+      Obs.Counter.incr c_decomp_hits;
+      d
+  | _ ->
+      let d = Hypergraph.decompose sorts in
+      Hashtbl.replace t.decomps key (vsig, d);
+      d
 
 let avg_bottom_len t =
   let n = Array.length t.bottoms in
@@ -463,17 +498,19 @@ let avg_bottom_len t =
          0 t.bottoms)
     /. float_of_int n
 
-let plan t ~n_undecided clause =
+let plan t ~key ~n_undecided clause =
   let d =
     Planner.choose ~batch_enabled:t.batch_enabled ~ex_store:t.ex_store
-      ~n_undecided ~avg_bottom_len:(avg_bottom_len t) clause
+      ~n_undecided ~avg_bottom_len:(avg_bottom_len t)
+      ~decompose:(memo_decompose t key) clause
   in
   note_plan_reason d;
   d
 
 (* Run the kernel for the given undecided local example indexes and
-   note the rows it actually scanned against the planner's estimate. *)
-let run_semijoin t patterns positions =
+   note the work it actually did (rows scanned plus leapfrog seeks)
+   against the planner's estimate. *)
+let run_semijoin t patterns decomp positions =
   match t.ex_store with
   | None -> invalid_arg "Coverage.run_semijoin: no example store"
   | Some store ->
@@ -486,9 +523,16 @@ let run_semijoin t patterns positions =
         if domains <= 1 then None
         else Some (fun parts f -> Parallel.init ~force ~domains parts f)
       in
-      let rows0 = Obs.Counter.value Algebra.c_rows_scanned in
-      let res = Algebra.semijoin_batch ?fanout store ~patterns ~eids in
-      Planner.note_actual (Obs.Counter.value Algebra.c_rows_scanned - rows0);
+      let work () =
+        Obs.Counter.value Algebra.c_rows_scanned
+        + Obs.Counter.value Algebra.c_leapfrog_seeks
+      in
+      let work0 = work () in
+      let res =
+        Algebra.semijoin_batch ?fanout ~decomposition:decomp store ~patterns
+          ~eids
+      in
+      Planner.note_actual (work () - work0);
       res
 
 (* [bottoms] and [max_steps] are threaded explicitly (not read off
@@ -504,12 +548,18 @@ let subsumes_noted ~max_steps (bottoms : Clause.t array) clause i =
 
 (* Coverage bits of [clause] at exactly the given local positions —
    the planner dispatches, the workload is the positions array. Both
-   the vector miss path and lazy cache patching funnel through here. *)
-let compute_positions t clause (positions : int array) =
+   the vector miss path and lazy cache patching funnel through here.
+   [key] is the clause's canonical key, already computed by every
+   caller; it addresses the decomposition memo. *)
+let compute_positions t ~key clause (positions : int array) =
   if Array.length positions = 0 then [||]
   else
-    match (plan t ~n_undecided:(Array.length positions) clause).Planner.strategy with
-    | Planner.Semijoin patterns -> run_semijoin t patterns positions
+    match
+      (plan t ~key ~n_undecided:(Array.length positions) clause)
+        .Planner.strategy
+    with
+    | Planner.Semijoin (patterns, decomp) ->
+        run_semijoin t patterns decomp positions
     | Planner.Subsumption ->
         (* the test closure runs on worker domains, so it captures a
            snapshot of the mutable state it needs instead of reading
@@ -545,7 +595,7 @@ let cached_vector t clause key =
     | Some e when e.egen = t.src_gen -> Some e.ev
     | Some e when e.egen >= t.log_floor ->
         let dirty = dirty_since t e.egen in
-        let bits = compute_positions t clause dirty in
+        let bits = compute_positions t ~key clause dirty in
         Array.iteri (fun j pos -> e.ev.(pos) <- bits.(j)) dirty;
         e.egen <- t.src_gen;
         Obs.Counter.incr c_cache_patches;
@@ -561,14 +611,16 @@ let cached_vector t clause key =
 let covers t clause i =
   Obs.Span.with_span span_covers @@ fun () ->
   refresh t;
-  match cached_vector t clause (cache_key t clause) with
+  let key = cache_key t clause in
+  match cached_vector t clause key with
   | Some v ->
       Obs.Counter.incr Stats.c_cache_hits;
       Planner.note_cached ();
       v.(i)
   | None -> (
-      match (plan t ~n_undecided:1 clause).Planner.strategy with
-      | Planner.Semijoin patterns -> (run_semijoin t patterns [| i |]).(0)
+      match (plan t ~key ~n_undecided:1 clause).Planner.strategy with
+      | Planner.Semijoin (patterns, decomp) ->
+          (run_semijoin t patterns decomp [| i |]).(0)
       | Planner.Subsumption ->
           subsumes_noted ~max_steps:t.max_steps t.bottoms clause i)
 
@@ -613,7 +665,7 @@ let vector ?assume ?within t clause =
       let positions =
         Array.of_list (List.filter undecided (List.init n Fun.id))
       in
-      let bits = compute_positions t clause positions in
+      let bits = compute_positions t ~key clause positions in
       let v =
         Array.init n (fun i ->
             match within with

@@ -46,6 +46,13 @@ let c_budget_exhausted = Obs.Counter.create "logic.subsume.budget_exhausted"
 
 let c_ac_refuted = Obs.Counter.create "logic.subsume.ac_refuted"
 
+(* Candidate literals examined while computing the arc-consistency
+   fixpoint. AC refutes most non-subsumptions before [c_steps] moves
+   at all, so its scan work is the engine's real cost on refuted
+   probes; perf comparisons against the set-at-a-time kernel must add
+   this to [c_steps] or they credit AC exits as free. *)
+let c_ac_scans = Obs.Counter.create "logic.subsume.ac_scans"
+
 (* Restart observability: [restarts] counts re-runs after an exhausted
    attempt; [restart_recoveries] counts searches that exhausted at
    least once and then completed definitively (either answer) on a
@@ -255,6 +262,7 @@ let arc_consistent (bindings : Term.t option array) (plits : plit list) =
     changed := false;
     List.iter
       (fun pl ->
+        Obs.Counter.add c_ac_scans (Array.length pl.cands);
         let filtered = Array.of_list (List.filter (compatible pl) (Array.to_list pl.cands)) in
         if Array.length filtered <> Array.length pl.cands then begin
           pl.cands <- filtered;

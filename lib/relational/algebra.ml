@@ -122,6 +122,12 @@ let c_rows_scanned = Obs.Counter.create "algebra.semijoin.rows_scanned"
 
 let c_semijoins = Obs.Counter.create "algebra.semijoin.semijoins"
 
+let c_wide_bags = Obs.Counter.create "algebra.semijoin.wide_bags"
+
+let c_bag_rows = Obs.Counter.create "algebra.semijoin.bag_rows"
+
+let c_leapfrog_seeks = Obs.Counter.create "algebra.semijoin.leapfrog_seeks"
+
 let span_batch = Obs.Span.create "algebra.semijoin.batch"
 
 (** One literal of a conjunctive pattern, matched against a stored
@@ -133,11 +139,6 @@ let span_batch = Obs.Span.create "algebra.semijoin.batch"
 type arg = Avar of string | Aconst of Value.t
 
 type pattern = { prel : string; pargs : arg array }
-
-(** Raised when the pattern hypergraph is cyclic — the caller should
-    fall back to a general evaluator (θ-subsumption in the ILP
-    layer). *)
-exception Cyclic_pattern
 
 (** Distinct variables of a pattern, in first-occurrence order. *)
 let pattern_vars p =
@@ -280,28 +281,183 @@ let semijoin parent child =
   parent.srows <-
     List.filter (fun r -> Hashtbl.mem keys (Tuple.project ppos r)) parent.srows
 
+(* ------------------------------------------------------------------ *)
+(* Worst-case-optimal bag materialization                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [lower_bound]/[upper_bound]: first index in [lo, hi) of [mat] whose
+   value at column [col] is >= v (resp. > v). The rows of [mat] are
+   sorted lexicographically and every column before [col] is constant
+   within [lo, hi), so column [col] is sorted there. *)
+let lower_bound (mat : Tuple.t array) col lo hi v =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare mat.(mid).(col) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let upper_bound (mat : Tuple.t array) col lo hi v =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare mat.(mid).(col) v <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Materialize one multi-edge bag of a decomposition: the natural join
+   of its member tables, computed by a leapfrog-style worst-case-
+   optimal generic join. Variables are eliminated in a fixed global
+   order — the example id first, then the bag's variables by first
+   occurrence — and the candidate values of each variable are obtained
+   by sorted-array intersection over every member containing it: the
+   member with the fewest remaining rows leads, the others are probed
+   by binary search and narrow their live row range as the partial
+   assignment grows. Each emitted row is a full distinct assignment of
+   (eid, bag variables), so the result is itself a valid semi-join
+   operand. *)
+let leapfrog_bag (tables : sj_table list) =
+  let bag_vars =
+    List.fold_left
+      (fun acc t ->
+        List.fold_left
+          (fun acc v -> if List.mem v acc then acc else v :: acc)
+          acc t.svars)
+      [] tables
+    |> List.rev
+  in
+  let n_depths = 1 + List.length bag_vars in
+  let depth_of = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace depth_of v (i + 1)) bag_vars;
+  let ops =
+    Array.of_list
+      (List.map
+         (fun t ->
+           (* project each row to (eid, own vars in elimination order)
+              and sort: the lexicographic order then agrees with the
+              global variable elimination order *)
+           let tv =
+             List.sort
+               (fun a b ->
+                 compare (Hashtbl.find depth_of a) (Hashtbl.find depth_of b))
+               t.svars
+           in
+           let col_at = Array.make n_depths (-1) in
+           col_at.(0) <- 0;
+           List.iteri (fun k v -> col_at.(Hashtbl.find depth_of v) <- k + 1) tv;
+           let pos_in v =
+             let rec go i = function
+               | [] -> raise Not_found
+               | x :: _ when String.equal x v -> i + 1
+               | _ :: tl -> go (i + 1) tl
+             in
+             go 0 t.svars
+           in
+           let proj = 0 :: List.map pos_in tv in
+           let mat =
+             Array.of_list (List.map (fun r -> Tuple.project proj r) t.srows)
+           in
+           Array.sort Tuple.compare mat;
+           (mat, col_at))
+         tables)
+  in
+  let m = Array.length ops in
+  let cur = Array.make n_depths (Value.int 0) in
+  let out = ref [] in
+  let rec enum d (ranges : (int * int) array) =
+    if d = n_depths then begin
+      Obs.Counter.incr c_bag_rows;
+      out := Array.copy cur :: !out
+    end
+    else begin
+      let active = ref [] in
+      for k = m - 1 downto 0 do
+        if (snd ops.(k)).(d) >= 0 then active := k :: !active
+      done;
+      let active = !active in
+      let lead =
+        List.fold_left
+          (fun best k ->
+            let lo, hi = ranges.(k) in
+            match best with
+            | Some (_, bn) when bn <= hi - lo -> best
+            | _ -> Some (k, hi - lo))
+          None active
+      in
+      match lead with
+      | None ->
+          (* unreachable: the example id makes every member active at
+             depth 0 and every bag variable occurs in some member *)
+          assert false
+      | Some (lead, _) ->
+          let mat, col_at = ops.(lead) in
+          let c = col_at.(d) in
+          let lo, hi = ranges.(lead) in
+          let i = ref lo in
+          while !i < hi do
+            let v = mat.(!i).(c) in
+            let stop = upper_bound mat c !i hi v in
+            Obs.Counter.incr c_leapfrog_seeks;
+            let ranges' = Array.copy ranges in
+            ranges'.(lead) <- (!i, stop);
+            let ok = ref true in
+            List.iter
+              (fun k ->
+                if !ok && k <> lead then begin
+                  let mk, ck = ops.(k) in
+                  let klo, khi = ranges.(k) in
+                  let c' = ck.(d) in
+                  let a = lower_bound mk c' klo khi v in
+                  let b = upper_bound mk c' a khi v in
+                  Obs.Counter.incr c_leapfrog_seeks;
+                  if a >= b then ok := false else ranges'.(k) <- (a, b)
+                end)
+              active;
+            if !ok then begin
+              cur.(d) <- v;
+              enum (d + 1) ranges'
+            end;
+            i := stop
+          done
+    end
+  in
+  enum 0 (Array.init m (fun k -> (0, Array.length (fst ops.(k)))));
+  { svars = bag_vars; srows = List.rev !out }
+
 (* Evaluate the whole semi-join program on one backend partition: scan
-   every pattern, run the Yannakakis bottom-up pass in ear-removal
-   order, then intersect the surviving example-id sets of the
-   component roots. *)
-let run_partition backend pats order s targets =
+   every pattern, materialize each decomposition bag (a singleton bag
+   reuses its pattern scan; a merged bag runs the worst-case-optimal
+   join above), run the Yannakakis bottom-up pass over the bag tree,
+   then intersect the surviving example-id sets of the component
+   roots. *)
+let run_partition backend pats (decomp : Hypergraph.decomposition) s targets =
   Obs.Counter.incr c_shard_tasks;
   match targets with
   | [] -> [||]
   | _ ->
       let tables = Array.map (scan_pattern backend s) pats in
+      let bag_tables =
+        Array.map
+          (fun members ->
+            match members with
+            | [ e ] -> tables.(e)
+            | members ->
+                Obs.Counter.incr c_wide_bags;
+                leapfrog_bag (List.map (fun e -> tables.(e)) members))
+          decomp.Hypergraph.bags
+      in
       let root_sets = ref [] in
       List.iter
-        (fun (e, parent) ->
+        (fun (b, parent) ->
           match parent with
-          | Some f -> semijoin tables.(f) tables.(e)
+          | Some f -> semijoin bag_tables.(f) bag_tables.(b)
           | None ->
               let set = Hashtbl.create 64 in
               List.iter
                 (fun (r : Tuple.t) -> Hashtbl.replace set r.(0) ())
-                tables.(e).srows;
+                bag_tables.(b).srows;
               root_sets := set :: !root_sets)
-        order;
+        decomp.Hypergraph.forest;
       let sets = !root_sets in
       Array.of_list
         (List.map
@@ -322,15 +478,18 @@ let run_partition backend pats order s targets =
     shard-specific code path here.
 
     The pattern hypergraph (one hyperedge of variables per pattern)
-    must be GYO-acyclic; prepending the example-id column to every
-    edge preserves acyclicity, so the program stays exact. Disconnected
+    need not be acyclic: the program runs over a generalized hypertree
+    decomposition ({!Hypergraph.decompose}) whose cyclic-core bags are
+    materialized by a worst-case-optimal multiway intersection before
+    the bottom-up Yannakakis pass — prepending the example-id column
+    to every edge keeps the bag tree exact per example. Disconnected
     components are evaluated independently and joined by intersecting
-    their root example-id sets. [fanout] runs the per-partition tasks
-    (default: sequential; the ILP layer passes its [Parallel] pool).
-
-    @raise Cyclic_pattern when the hypergraph is cyclic — the caller
-    falls back to per-example evaluation. *)
-let semijoin_batch ?(fanout = fun n f -> Array.init n f)
+    their root example-id sets. [decomposition] supplies a
+    precomputed (possibly memoized) decomposition of exactly
+    [List.map pattern_vars patterns]; it is rebuilt here when absent.
+    [fanout] runs the per-partition tasks (default: sequential; the
+    ILP layer passes its [Parallel] pool). *)
+let semijoin_batch ?(fanout = fun n f -> Array.init n f) ?decomposition
     (backend : Backend.t) ~(patterns : pattern list) ~(eids : int array) =
   Obs.Span.with_span span_batch @@ fun () ->
   Obs.Counter.incr c_batches;
@@ -338,10 +497,10 @@ let semijoin_batch ?(fanout = fun n f -> Array.init n f)
   match patterns with
   | [] -> Array.make (Array.length eids) true
   | _ ->
-      let order =
-        match Hypergraph.join_forest (List.map pattern_vars patterns) with
-        | Some o -> o
-        | None -> raise Cyclic_pattern
+      let decomp =
+        match decomposition with
+        | Some d -> d
+        | None -> Hypergraph.decompose (List.map pattern_vars patterns)
       in
       let module B = (val backend) in
       let pats = Array.of_list patterns in
@@ -355,7 +514,7 @@ let semijoin_batch ?(fanout = fun n f -> Array.init n f)
       let by_part = Array.map List.rev by_part in
       let results =
         fanout n (fun s ->
-            run_partition backend pats order s (List.map snd by_part.(s)))
+            run_partition backend pats decomp s (List.map snd by_part.(s)))
       in
       let out = Array.make (Array.length eids) false in
       Array.iteri

@@ -171,18 +171,69 @@ let random_suite =
         List.for_all (fun s -> vectors s = v1) specs);
   ]
 
-(* ---------------- join forest ------------------------------------- *)
+(* ---------------- join forest & hypertree decomposition ----------- *)
 
 let hyper_gen =
   QCheck2.Gen.(
     list_size (int_range 0 6)
       (list_size (int_range 0 4) (map (fun i -> Printf.sprintf "x%d" i) (int_bound 5))))
 
+module SS = Hypergraph.SS
+
+(* The classical GYO reduction (repeatedly delete attributes unique to
+   one hyperedge and hyperedges contained in another), kept here as an
+   independent oracle: Hypergraph.is_acyclic is now defined through
+   [decompose], so pinning it against this separately-maintained loop
+   is what keeps the two characterizations honest. *)
+let gyo_acyclic_oracle (sorts : string list list) =
+  let edges = ref (List.map SS.of_list sorts) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        SS.iter
+          (fun a ->
+            Hashtbl.replace counts a
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts a)))
+          e)
+      !edges;
+    let edges' =
+      List.map
+        (fun e -> SS.filter (fun a -> Hashtbl.find counts a > 1) e)
+        !edges
+    in
+    if edges' <> !edges then begin
+      edges := edges';
+      changed := true
+    end;
+    let rec drop_contained acc = function
+      | [] -> List.rev acc
+      | e :: rest ->
+          let contained =
+            SS.is_empty e
+            || List.exists (fun f -> SS.subset e f) rest
+            || List.exists (fun f -> SS.subset e f) acc
+          in
+          if contained then drop_contained acc rest
+          else drop_contained (e :: acc) rest
+    in
+    let edges'' = drop_contained [] !edges in
+    if List.length edges'' <> List.length !edges then begin
+      edges := edges'';
+      changed := true
+    end
+  done;
+  List.length !edges <= 1
+
 let forest_suite =
   [
-    qt ~count:500 "join_forest succeeds exactly on GYO-acyclic hypergraphs"
+    qt ~count:500 "is_acyclic matches the classical GYO reduction" hyper_gen
+      (fun h -> Hypergraph.is_acyclic h = gyo_acyclic_oracle h);
+    qt ~count:500 "decompose: width <= 1 exactly on acyclic hypergraphs"
       hyper_gen
-      (fun h -> Hypergraph.join_forest h <> None = Hypergraph.is_acyclic h);
+      (fun h -> (Hypergraph.decompose h).Hypergraph.width <= 1 = gyo_acyclic_oracle h);
     qt ~count:500 "join_forest is a permutation with children before parents"
       hyper_gen
       (fun h ->
@@ -208,33 +259,88 @@ let forest_suite =
                           removed: f appears after e in removal order *)
                        f <> e && idx e < idx f)
                  order);
-  ]
-
-let kernel_fallback_suite =
-  [
-    tc "cyclic clause falls back to Subsume and still agrees" (fun () ->
-        let params = Bottom.default_params in
-        let inst, examples = random_problem 7 in
-        let cov = Coverage.build ~params inst examples in
-        (* p(A,B), p(B,C), p(C,A) is the classic GYO-cyclic triangle *)
-        let va x = Term.Var x in
-        let clause =
-          Clause.make
-            (Atom.make "t" [ va "A" ])
-            [
-              Atom.make "p" [ va "A"; va "B" ];
-              Atom.make "p" [ va "B"; va "C" ];
-              Atom.make "p" [ va "C"; va "A" ];
-            ]
+    qt ~count:500 "decompose: bags partition the hyperedges" hyper_gen
+      (fun h ->
+        let d = Hypergraph.decompose h in
+        List.sort compare (List.concat (Array.to_list d.Hypergraph.bags))
+        = List.init (List.length h) Fun.id);
+    qt ~count:500 "decompose: bag vars are the union of member sorts"
+      hyper_gen
+      (fun h ->
+        let sorts = Array.of_list (List.map SS.of_list h) in
+        let d = Hypergraph.decompose h in
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun b members ->
+               SS.equal d.Hypergraph.bag_vars.(b)
+                 (List.fold_left
+                    (fun acc e -> SS.union acc sorts.(e))
+                    SS.empty members))
+             d.Hypergraph.bags));
+    qt ~count:500
+      "decompose: forest is a bag permutation, children before parents"
+      hyper_gen
+      (fun h ->
+        let d = Hypergraph.decompose h in
+        let n = Array.length d.Hypergraph.bags in
+        let bags = List.map fst d.Hypergraph.forest in
+        let idx x =
+          let rec go i = function
+            | [] -> -1
+            | y :: tl -> if y = x then i else go (i + 1) tl
+          in
+          go 0 bags
         in
-        let before = Obs.Counter.value Coverage.c_batch_fallbacks in
-        let vb, vs = both cov clause in
-        check Alcotest.(list bool) "agree" vs vb;
-        check Alcotest.bool "fallback counted" true
-          (Obs.Counter.value Coverage.c_batch_fallbacks > before));
+        List.sort compare bags = List.init n Fun.id
+        && List.for_all
+             (fun (b, parent) ->
+               match parent with
+               | None -> true
+               | Some f -> f <> b && idx b < idx f)
+             d.Hypergraph.forest);
+    qt ~count:500 "decompose: running-intersection property" hyper_gen
+      (fun h ->
+        (* for every attribute, the bags containing it form one
+           connected subtree: at most one of them hangs off a parent
+           outside the set *)
+        let d = Hypergraph.decompose h in
+        let n = Array.length d.Hypergraph.bags in
+        let parent = Hashtbl.create 16 in
+        List.iter
+          (fun (b, p) -> Hashtbl.replace parent b p)
+          d.Hypergraph.forest;
+        let attrs =
+          List.sort_uniq compare (List.concat h)
+        in
+        List.for_all
+          (fun a ->
+            let holds b = SS.mem a d.Hypergraph.bag_vars.(b) in
+            let bags_with = List.filter holds (List.init n Fun.id) in
+            let tops =
+              List.filter
+                (fun b ->
+                  match Hashtbl.find parent b with
+                  | None -> true
+                  | Some p -> not (holds p))
+                bags_with
+            in
+            List.length tops <= 1)
+          attrs);
+    qt ~count:500 "decompose: width-1 reproduces join_forest exactly"
+      hyper_gen
+      (fun h ->
+        let d = Hypergraph.decompose h in
+        d.Hypergraph.width > 1
+        || Hypergraph.join_forest h
+           = Some
+               (List.map
+                  (fun (b, p) ->
+                    ( List.hd d.Hypergraph.bags.(b),
+                      Option.map (fun q -> List.hd d.Hypergraph.bags.(q)) p ))
+                  d.Hypergraph.forest));
   ]
 
-(* ---------------- semi-join kernel edge cases ---------------------- *)
+(* ---------------- cyclic bodies ride the kernel -------------------- *)
 
 let va x = Term.Var x
 
@@ -244,6 +350,130 @@ let p_clause =
 
 let patterns_of clause =
   List.map Planner.pattern_of_atom (clause.Clause.head :: clause.Clause.body)
+
+(* the classic GYO-cyclic triangle over the pq world *)
+let triangle =
+  let va x = Term.Var x in
+  Clause.make
+    (Atom.make "t" [ va "A" ])
+    [
+      Atom.make "p" [ va "A"; va "B" ];
+      Atom.make "p" [ va "B"; va "C" ];
+      Atom.make "p" [ va "C"; va "A" ];
+    ]
+
+(* a 4-cycle alternating both relations *)
+let square =
+  let va x = Term.Var x in
+  Clause.make
+    (Atom.make "t" [ va "A" ])
+    [
+      Atom.make "p" [ va "A"; va "B" ];
+      Atom.make "q" [ va "B"; va "C" ];
+      Atom.make "p" [ va "C"; va "D" ];
+      Atom.make "q" [ va "D"; va "A" ];
+    ]
+
+let kernel_cyclic_suite =
+  [
+    tc "cyclic clause rides the kernel: no fallback, agrees with Subsume"
+      (fun () ->
+        let params = Bottom.default_params in
+        let inst, examples = random_problem 7 in
+        let cov = Coverage.build ~params inst examples in
+        let store = Option.get (Coverage.store cov) in
+        let fallbacks0 = Obs.Counter.value Coverage.c_batch_fallbacks in
+        let wide0 = Obs.Counter.value Algebra.c_wide_bags in
+        (* the planner path must agree regardless of which strategy the
+           cost model picks... *)
+        let vb, vs = both cov triangle in
+        check Alcotest.(list bool) "planner agrees" vs vb;
+        (* ...and the kernel itself, invoked directly, must answer the
+           cyclic body bit-for-bit like subsumption *)
+        let direct =
+          Algebra.semijoin_batch store ~patterns:(patterns_of triangle)
+            ~eids:(Array.init (Array.length examples) Fun.id)
+        in
+        check Alcotest.(list bool) "direct kernel agrees" vs
+          (Array.to_list direct);
+        check Alcotest.bool "wide bag materialized" true
+          (Obs.Counter.value Algebra.c_wide_bags > wide0);
+        check Alcotest.int "no forced fallback" fallbacks0
+          (Obs.Counter.value Coverage.c_batch_fallbacks));
+    tc "planner prices the triangle as a width-2 decomposition" (fun () ->
+        let sorts =
+          List.map Algebra.pattern_vars (patterns_of triangle)
+        in
+        let d = Hypergraph.decompose sorts in
+        check Alcotest.int "width" 2 d.Hypergraph.width);
+    tc "cyclic bodies: direct kernel == Subsume on all six backends"
+      (fun () ->
+        let params = Bottom.default_params in
+        List.iter
+          (fun seed ->
+            let inst, examples = random_problem seed in
+            let closed =
+              List.filter_map Planner.close_cycle
+                (candidates inst params examples 2)
+            in
+            let clauses = triangle :: square :: closed in
+            let reference =
+              let cov = Coverage.build ~params inst examples in
+              Coverage.set_cache cov false;
+              Coverage.set_batch cov false;
+              List.map
+                (fun c -> Array.to_list (Coverage.vector cov c))
+                clauses
+            in
+            List.iter
+              (fun backend ->
+                let cov = Coverage.build ~params ~backend inst examples in
+                let store = Option.get (Coverage.store cov) in
+                let eids = Array.init (Array.length examples) Fun.id in
+                List.iteri
+                  (fun i clause ->
+                    let direct =
+                      Algebra.semijoin_batch store
+                        ~patterns:(patterns_of clause) ~eids
+                    in
+                    check
+                      Alcotest.(list bool)
+                      (Fmt.str "%s clause %d"
+                         (Backend.spec_to_string backend)
+                         i)
+                      (List.nth reference i)
+                      (Array.to_list direct))
+                  clauses)
+              specs)
+          [ 3; 17 ]);
+    tc "decomposition memo: α-equivalent probes hit, order changes miss"
+      (fun () ->
+        let params = Bottom.default_params in
+        let inst, examples = random_problem 23 in
+        let cov = Coverage.build ~params inst examples in
+        Coverage.set_cache cov false;
+        let hits0 = Obs.Counter.value Coverage.c_decomp_hits in
+        ignore (Coverage.vector cov triangle);
+        ignore (Coverage.vector cov triangle);
+        check Alcotest.bool "second probe served from the memo" true
+          (Obs.Counter.value Coverage.c_decomp_hits > hits0);
+        (* same canonical key, different literal order: the memoized
+           positional bag indexes would be unsound, so the entry must
+           be recomputed — and the vectors must agree either way *)
+        let rotated =
+          Clause.make triangle.Clause.head
+            (match triangle.Clause.body with
+            | a :: rest -> rest @ [ a ]
+            | [] -> [])
+        in
+        check Alcotest.string "rotation is α-equivalent"
+          (Clause.canonical_key triangle)
+          (Clause.canonical_key rotated);
+        let vb, vs = both cov rotated in
+        check Alcotest.(list bool) "rotated body agrees" vs vb);
+  ]
+
+(* ---------------- semi-join kernel edge cases ---------------------- *)
 
 let edge_suite =
   [
@@ -349,5 +579,5 @@ let mutation_suite =
   ]
 
 let suite =
-  family_suite @ random_suite @ forest_suite @ kernel_fallback_suite
+  family_suite @ random_suite @ forest_suite @ kernel_cyclic_suite
   @ edge_suite @ mutation_suite
